@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks mirror the paper's evaluation artifacts:
+
+* ``bench_table1.py``  — strategy-search time (Table I)
+* ``bench_table2.py``  — best strategies at scale (Table II)
+* ``bench_figure6.py`` — simulated throughput speedups (Fig. 6a/6b)
+* ``bench_graphstats.py`` — ordering statistics (Fig. 5 / Section III-C)
+* ``bench_ablations.py`` — design-choice ablations
+
+Device counts default to CI-sized sweeps; set ``PASE_BENCH_FULL=1`` to run
+the paper's full p = 4..64 grid (slow: tens of minutes).
+"""
+
+import os
+
+import pytest
+
+FULL = bool(int(os.environ.get("PASE_BENCH_FULL", "0")))
+
+#: Device counts exercised by the timed benchmarks.
+BENCH_PS = (4, 8, 16, 32, 64) if FULL else (4, 8)
+
+#: Device count for the Table II strategy-structure benchmark.
+TABLE2_P = 32 if FULL else 16
+
+
+@pytest.fixture(scope="session")
+def bench_ps():
+    return BENCH_PS

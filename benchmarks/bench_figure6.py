@@ -1,0 +1,78 @@
+"""Figure 6: simulated training throughput of searched strategies.
+
+For every (machine, network, p) cell, times the cluster simulation of the
+PaSE strategy and asserts the paper's headline orderings against the
+data-parallel baseline: the searched strategy never loses materially, the
+wins grow with scale, and the low-machine-balance 2080Ti system shows the
+larger gaps (Fig. 6b vs 6a).
+"""
+
+import pytest
+
+from repro.cluster import simulate_step
+from repro.core.machine import GTX1080TI, RTX2080TI
+from repro.experiments.common import build_setup, search_with
+from _config import BENCH_PS, FULL
+
+NETWORKS = ("alexnet", "inception_v3", "rnnlm", "transformer")
+MACHINES = {m.name: m for m in (GTX1080TI, RTX2080TI)}
+
+
+def speedup_over_dp(net, p, machine, method="ours"):
+    setup = build_setup(net, p, machine=machine)
+    strat = search_with(setup, method).strategy
+    dp = search_with(setup, "data_parallel").strategy
+    ours = simulate_step(setup.graph, strat, machine, p)
+    base = simulate_step(setup.graph, dp, machine, p)
+    return ours.throughput / base.throughput
+
+
+@pytest.mark.parametrize("mname", list(MACHINES))
+@pytest.mark.parametrize("p", BENCH_PS)
+@pytest.mark.parametrize("net", NETWORKS)
+def test_simulated_step(benchmark, net, p, mname):
+    machine = MACHINES[mname]
+    setup = build_setup(net, p, machine=machine)
+    strat = search_with(setup, "ours").strategy
+    report = benchmark.pedantic(
+        lambda: simulate_step(setup.graph, strat, machine, p),
+        rounds=1, iterations=1)
+    assert report.throughput > 0
+
+
+@pytest.mark.parametrize("mname", list(MACHINES))
+@pytest.mark.parametrize("net", NETWORKS)
+def test_never_materially_worse_than_dp(net, mname):
+    """Fig. 6 floor: the searched strategy tracks or beats data
+    parallelism (small-p cells can tie or dip slightly within simulator
+    noise — the analytic oracle ignores overlap, Section II)."""
+    s = speedup_over_dp(net, max(BENCH_PS), MACHINES[mname])
+    assert s > 0.8
+
+
+@pytest.mark.parametrize("net", ("alexnet", "rnnlm"))
+def test_low_balance_machine_wins_bigger(net):
+    """Fig. 6b vs 6a: speedups are larger on the 2080Ti profile."""
+    p = max(BENCH_PS)
+    assert speedup_over_dp(net, p, RTX2080TI) > \
+        speedup_over_dp(net, p, GTX1080TI)
+
+
+@pytest.mark.parametrize("net", ("alexnet", "rnnlm"))
+def test_speedup_grows_with_scale(net):
+    """Fig. 6 trend: more devices widen the gap over data parallelism."""
+    lo, hi = min(BENCH_PS), max(BENCH_PS)
+    assert speedup_over_dp(net, hi, RTX2080TI) >= \
+        speedup_over_dp(net, lo, RTX2080TI)
+
+
+@pytest.mark.skipif(not FULL, reason="paper-scale headline needs p>=16 "
+                    "(set PASE_BENCH_FULL=1)")
+def test_headline_factors():
+    """Paper: up to ~1.85x over DP on 1080Ti and ~4x on 2080Ti."""
+    best_1080 = max(speedup_over_dp(n, 16, GTX1080TI)
+                    for n in ("alexnet", "rnnlm"))
+    best_2080 = max(speedup_over_dp(n, 16, RTX2080TI)
+                    for n in ("alexnet", "rnnlm"))
+    assert best_1080 >= 1.5
+    assert best_2080 >= 3.0

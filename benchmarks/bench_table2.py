@@ -1,0 +1,37 @@
+"""Table II: best strategies for a multi-node system.
+
+Times the full search at the Table II scale and regenerates the
+qualitative strategy structure Section IV-C describes (the assertions are
+the reproduction; the printed tables match the paper's format).
+"""
+
+import pytest
+
+from repro.experiments.common import build_setup, search_with
+from repro.experiments.table2 import run_table2, strategy_structure_checks
+from _config import TABLE2_P
+
+NETWORKS = ("alexnet", "inception_v3", "rnnlm", "transformer")
+
+
+@pytest.mark.parametrize("net", NETWORKS)
+def test_table2_search(benchmark, net):
+    setup = build_setup(net, TABLE2_P)
+    result = benchmark.pedantic(
+        lambda: search_with(setup, "ours"), rounds=1, iterations=1)
+    result.strategy.validate(setup.graph, TABLE2_P)
+
+
+def test_table2_structure():
+    """Section IV-C: the found strategies have the paper's shape."""
+    strategies = run_table2(p=TABLE2_P)
+    checks = strategy_structure_checks(strategies, p=TABLE2_P)
+    failed = [name for name, ok in checks.items() if not ok]
+    assert not failed, f"structure checks failed: {failed}"
+
+
+def test_table2_rendering():
+    strategies = run_table2(p=TABLE2_P, benchmarks=("rnnlm",))
+    setup = build_setup("rnnlm", TABLE2_P)
+    table = strategies["rnnlm"].format_table(setup.graph)
+    assert "lstm" in table and "lbsde" in table

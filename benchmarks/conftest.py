@@ -1,0 +1,1 @@
+"""Pytest hooks for the benchmark suite (see _config for knobs)."""

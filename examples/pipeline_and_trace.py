@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Extensions tour: pipeline stages, memory accounting, and timelines.
+
+1. Compose PipeDream-style stage partitioning with PaSE (the Section VI
+   combination): cut VGG-16 into pipeline stages and search each stage.
+2. Check the Section II memory claim: the searched strategy's per-device
+   footprint vs data parallelism's.
+3. Render an ASCII timeline of the simulated step showing gradient-sync /
+   compute overlap.
+
+Run:  python examples/pipeline_and_trace.py
+"""
+
+from repro.analysis import strategy_memory
+from repro.baselines import data_parallel_strategy
+from repro.cluster import render_gantt, simulate_step
+from repro.core import ConfigSpace, CostModel, GTX1080TI, find_best_strategy
+from repro.extensions import pipeline_pase
+from repro.models import vgg16
+
+P = 8
+
+
+def main() -> None:
+    graph = vgg16()
+
+    print("== 1. pipeline stages + PaSE per stage ==")
+    res = pipeline_pase(graph, P, stages=2)
+    for i, (stage, cost) in enumerate(zip(res.stages, res.stage_costs)):
+        print(f"  stage {i}: {len(stage):2d} layers, cost {cost:.3e} "
+              f"({stage[0]} .. {stage[-1]})")
+    print(f"  balance {res.pipeline_efficiency:.1%}, "
+          f"{res.devices_per_stage} devices/stage")
+
+    print("\n== 2. per-device memory: searched strategy vs data parallel ==")
+    space = ConfigSpace.build(graph, P)
+    tables = CostModel(GTX1080TI).build_tables(graph, space)
+    ours = find_best_strategy(graph, space, tables).strategy
+    dp = data_parallel_strategy(graph, P)
+    for label, strat in (("ours", ours), ("data parallel", dp)):
+        mem = strategy_memory(graph, strat)
+        total = sum(m.total for m in mem.values())
+        params = sum(m.params for m in mem.values())
+        print(f"  {label:14s} total {total / 2**30:5.2f} GiB/device "
+              f"(params+optimizer {params / 2**30:5.2f} GiB)")
+
+    print("\n== 3. simulated step timeline (ours) ==")
+    rep = simulate_step(graph, ours, GTX1080TI, P, keep_trace=True)
+    print(f"  step {rep.step_time * 1e3:.1f} ms, "
+          f"{rep.throughput:,.0f} samples/s")
+    print(render_gantt(rep.trace, rep.step_time, width=72,
+                       resources=[("gpu", 0), ("gpu", 1), ("tx", 0)]))
+
+
+if __name__ == "__main__":
+    main()

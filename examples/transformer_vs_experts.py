@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Transformer NMT: PaSE vs data parallelism, Mesh-TensorFlow, and MCMC.
+
+Reproduces the Section IV comparison for the Transformer benchmark on a
+chosen device count: search with every method, rank by the shared analytic
+oracle, then execute each strategy on the simulated 1080Ti and 2080Ti
+clusters (paper Fig. 6a/6b).
+
+Run:  python examples/transformer_vs_experts.py [p]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import (
+    MCMCOptions,
+    data_parallel_strategy,
+    mcmc_search,
+    mesh_tf_transformer_expert,
+)
+from repro.cluster import simulate_step
+from repro.core import ConfigSpace, CostModel, GTX1080TI, RTX2080TI, \
+    find_best_strategy
+from repro.models import transformer
+
+
+def main() -> None:
+    p = int(sys.argv[1]) if len(sys.argv) > 1 else 16
+    graph = transformer(layers=4)
+
+    for machine in (GTX1080TI, RTX2080TI):
+        space = ConfigSpace.build(graph, p)
+        tables = CostModel(machine).build_tables(graph, space)
+
+        expert = mesh_tf_transformer_expert(graph, p)
+        strategies = {
+            "data_parallel": data_parallel_strategy(graph, p),
+            "mesh_tf_expert": expert,
+            "flexflow_mcmc": mcmc_search(
+                graph, space, tables, init=expert,
+                rng=np.random.default_rng(0),
+                options=MCMCOptions(max_iters=20_000)).strategy,
+            "pase": find_best_strategy(graph, space, tables).strategy,
+        }
+
+        print(f"\n== {machine.name}, p={p} ==")
+        base = simulate_step(graph, strategies["data_parallel"], machine, p)
+        print(f"{'method':16s} {'analytic cost':>14s} {'samples/s':>10s} "
+              f"{'speedup':>8s}")
+        for name, strat in strategies.items():
+            rep = simulate_step(graph, strat, machine, p)
+            print(f"{name:16s} {strat.cost(tables):14.4e} "
+                  f"{rep.throughput:10.1f} "
+                  f"{rep.throughput / base.throughput:7.2f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""PaSE — Parallelization Strategies for Efficient DNN Training.
+
+A from-scratch reproduction of Elango, *PaSE* (IPDPS 2021): automatic
+search for hybrid data+parameter parallelization strategies over DNN
+computation graphs via a dependent-set-minimizing dynamic program, together
+with the substrates its evaluation needs — an operator/model zoo, baseline
+and expert strategy generators, a FlexFlow-style MCMC comparator, a greedy
+device placer, and a discrete-event multi-node GPU cluster simulator.
+"""
+
+from . import core, ops
+from .core import (
+    CompGraph,
+    ConfigSpace,
+    CostModel,
+    CostTables,
+    Dim,
+    Edge,
+    GTX1080TI,
+    MachineSpec,
+    PaseError,
+    RTX2080TI,
+    SearchResourceError,
+    SearchResult,
+    Strategy,
+    TensorSpec,
+    UNIT_BALANCE,
+    brute_force_strategy,
+    find_best_strategy,
+    generate_seq,
+    naive_bf_strategy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompGraph",
+    "ConfigSpace",
+    "CostModel",
+    "CostTables",
+    "Dim",
+    "Edge",
+    "GTX1080TI",
+    "MachineSpec",
+    "PaseError",
+    "RTX2080TI",
+    "SearchResourceError",
+    "SearchResult",
+    "Strategy",
+    "TensorSpec",
+    "UNIT_BALANCE",
+    "__version__",
+    "brute_force_strategy",
+    "core",
+    "find_best_strategy",
+    "generate_seq",
+    "naive_bf_strategy",
+    "ops",
+]

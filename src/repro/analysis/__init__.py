@@ -1,0 +1,23 @@
+"""Graph/search analysis and report formatting (Tables I-II, Fig. 5/6)."""
+
+from .graphstats import (
+    config_count_stats,
+    degree_histogram,
+    dependent_set_profile,
+    section_3c_report,
+)
+from .memory import MemoryModel, NodeMemory, strategy_memory
+from .reporting import format_grid, format_speedup_table, format_time
+
+__all__ = [
+    "MemoryModel",
+    "NodeMemory",
+    "config_count_stats",
+    "degree_histogram",
+    "dependent_set_profile",
+    "format_grid",
+    "format_speedup_table",
+    "format_time",
+    "section_3c_report",
+    "strategy_memory",
+]

@@ -1,0 +1,112 @@
+"""Per-device memory-footprint estimation for parallelization strategies.
+
+Section II of the paper argues that minimizing the training-time objective
+*indirectly* minimizes memory: per-device footprint is (i) parameter +
+activation shards, which shrink with the layer's device count, plus (ii)
+communication buffers, proportional to the communication volume the
+objective already minimizes.  This module makes that claim measurable —
+and `repro.core.configs.prune_configs_by_memory` turns it into a hard
+constraint, rejecting configurations whose worst-device footprint exceeds
+the device capacity (the reason pure data parallelism simply cannot train
+large models, Section I).
+
+The estimate per node and device:
+
+* parameters: largest parameter shard (+ the same again for gradients and
+  ``optimizer_state_factor`` x for momentum/Adam state);
+* activations: input + output shards (training keeps activations for the
+  backward pass);
+* communication buffers: the layer's internal communication bytes plus its
+  edge-transfer bytes under the strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.costmodel import CostModel
+from ..core.graph import CompGraph
+from ..core.machine import UNIT_BALANCE
+from ..core.strategy import Strategy
+from ..core.tensors import DTYPE_BYTES
+from ..ops.base import OpSpec
+
+__all__ = ["MemoryModel", "NodeMemory", "strategy_memory"]
+
+#: Extra copies of every parameter shard held by the optimizer
+#: (gradient + momentum for SGD-with-momentum).
+DEFAULT_OPTIMIZER_STATE_FACTOR = 2.0
+
+
+@dataclass(frozen=True)
+class NodeMemory:
+    """Worst-device memory bytes of one node under one configuration."""
+
+    node: str
+    params: float
+    activations: float
+    comm_buffers: float
+
+    @property
+    def total(self) -> float:
+        return self.params + self.activations + self.comm_buffers
+
+
+class MemoryModel:
+    """Estimates worst-device memory per node, vectorized over configs."""
+
+    def __init__(self, *, optimizer_state_factor: float =
+                 DEFAULT_OPTIMIZER_STATE_FACTOR) -> None:
+        self.optimizer_state_factor = optimizer_state_factor
+        # Communication volumes reuse the cost model's byte accounting;
+        # the machine balance is irrelevant for bytes, so unit balance.
+        self._cm = CostModel(UNIT_BALANCE)
+
+    def node_bytes(self, op: OpSpec, configs: np.ndarray) -> np.ndarray:
+        """Worst-device bytes for each configuration ``[K, d] -> [K]``."""
+        configs = np.asarray(configs, dtype=np.int64)
+        params = np.zeros(configs.shape[:-1], dtype=np.float64)
+        acts = np.zeros(configs.shape[:-1], dtype=np.float64)
+        for spec in op.inputs.values():
+            shard = spec.shard_volume(op, configs) * DTYPE_BYTES
+            if spec.is_param:
+                params += shard * (1.0 + self.optimizer_state_factor)
+            else:
+                acts += shard
+        for spec in op.outputs.values():
+            acts += spec.shard_volume(op, configs) * DTYPE_BYTES
+        comm = self._cm.layer_comm_bytes(op, configs)
+        return params + acts + comm
+
+    def node_memory(self, graph: CompGraph, strategy: Strategy,
+                    node: str) -> NodeMemory:
+        op = graph.node(node)
+        cfg = np.asarray(strategy[node], dtype=np.int64).reshape(1, -1)
+        params = 0.0
+        acts = 0.0
+        for spec in op.inputs.values():
+            shard = float(spec.shard_volume(op, cfg)[0]) * DTYPE_BYTES
+            if spec.is_param:
+                params += shard * (1.0 + self.optimizer_state_factor)
+            else:
+                acts += shard
+        for spec in op.outputs.values():
+            acts += float(spec.shard_volume(op, cfg)[0]) * DTYPE_BYTES
+        comm = float(self._cm.layer_comm_bytes(op, cfg)[0])
+        return NodeMemory(node=node, params=params, activations=acts,
+                          comm_buffers=comm)
+
+
+def strategy_memory(graph: CompGraph, strategy: Strategy, *,
+                    optimizer_state_factor: float =
+                    DEFAULT_OPTIMIZER_STATE_FACTOR) -> dict[str, NodeMemory]:
+    """Per-node worst-device memory of a complete strategy.
+
+    The per-device total is (approximately) the sum over nodes, since a
+    training step keeps every layer's activations live until its backward
+    pass.
+    """
+    mm = MemoryModel(optimizer_state_factor=optimizer_state_factor)
+    return {n: mm.node_memory(graph, strategy, n) for n in graph.node_names}

@@ -1,0 +1,44 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_time", "format_grid", "format_speedup_table"]
+
+
+def format_time(seconds: float | None) -> str:
+    """Render seconds in the paper's Table I ``mins:secs.msecs`` format.
+
+    ``None`` renders as ``OOM`` (resource-budget failures).
+    """
+    if seconds is None:
+        return "OOM"
+    mins, rem = divmod(max(seconds, 0.0), 60.0)
+    return f"{int(mins)}:{rem:06.3f}"
+
+
+def format_grid(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """A padded, pipe-separated text table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if j == 0:
+            lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_speedup_table(
+    data: Mapping[str, Mapping[int, Mapping[str, float]]],
+    methods: Sequence[str],
+) -> str:
+    """Fig. 6-style table: per benchmark and device count, speedup over
+    data parallelism per method."""
+    rows = []
+    for bench, by_p in data.items():
+        for p, series in sorted(by_p.items()):
+            rows.append([bench, p] + [f"{series.get(m, float('nan')):.2f}x"
+                                      for m in methods])
+    return format_grid(["benchmark", "p"] + list(methods), rows)

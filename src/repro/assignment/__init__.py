@@ -1,0 +1,13 @@
+"""Shard-to-device placement (paper Section II: greedy locality assignment)."""
+
+from .blocks import axis_block, shard_indices, tensor_blocks, block_overlap
+from .greedy import Placement, greedy_placement
+
+__all__ = [
+    "Placement",
+    "axis_block",
+    "block_overlap",
+    "greedy_placement",
+    "shard_indices",
+    "tensor_blocks",
+]

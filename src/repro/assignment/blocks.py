@@ -1,0 +1,89 @@
+"""Shard-block geometry: which tensor elements a device holds or needs.
+
+A parallelization configuration block-partitions each tensor of a node:
+shard ``(i_1, ..., i_d)`` owns, along every tensor axis, the half-open
+interval induced by the split of the iteration dim that axis resolves to.
+These intervals drive the greedy device placement (overlap maximization)
+and the cluster simulator's transfer volumes — the concrete realization of
+the paper's ``A(v, d, φ)`` sets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dims import ceil_div
+from ..core.tensors import TensorSpec
+from ..ops.base import OpSpec
+
+__all__ = ["shard_indices", "axis_block", "tensor_blocks", "block_overlap"]
+
+
+def shard_indices(config: tuple[int, ...]) -> np.ndarray:
+    """All shard multi-indices of a configuration, shape ``[P, d]``.
+
+    Row-major (last dim fastest), so shard 0 is the all-zeros corner.
+    """
+    if not config:
+        return np.zeros((1, 0), dtype=np.int64)
+    grids = np.indices(config).reshape(len(config), -1).T
+    return np.ascontiguousarray(grids, dtype=np.int64)
+
+
+def axis_block(size: int, split: int, idx) -> tuple[np.ndarray, np.ndarray]:
+    """Half-open interval(s) ``[start, stop)`` of block ``idx`` along an axis.
+
+    Blocks are ceil-sized, so trailing blocks may be smaller or empty.
+    Vectorized over ``idx``.
+    """
+    idx = np.asarray(idx, dtype=np.int64)
+    ext = ceil_div(size, split)
+    start = np.minimum(idx * ext, size)
+    stop = np.minimum(start + ext, size)
+    return start, stop
+
+
+def tensor_blocks(op: OpSpec, spec: TensorSpec, config: tuple[int, ...],
+                  shards: np.ndarray) -> np.ndarray:
+    """Block intervals of a tensor for every shard.
+
+    Returns ``[P, n_axes, 2]`` (start, stop per axis).  Alias axes follow
+    their primary dim's split; fixed alias axes span the full extent.
+    """
+    p = shards.shape[0]
+    out = np.zeros((p, len(spec.axes), 2), dtype=np.int64)
+    for a, axis in enumerate(spec.axes):
+        size = op.dim_size(axis)
+        primary = op.resolve_dim(axis)
+        if primary is None:
+            out[:, a, 0] = 0
+            out[:, a, 1] = size
+        else:
+            di = op.dim_index(primary)
+            start, stop = axis_block(size, config[di], shards[:, di])
+            out[:, a, 0] = start
+            out[:, a, 1] = stop
+    return out
+
+
+def block_overlap(blocks_a: np.ndarray, blocks_b: np.ndarray) -> np.ndarray:
+    """Pairwise overlap volumes of two block sets.
+
+    Parameters
+    ----------
+    blocks_a, blocks_b:
+        ``[P_a, n_axes, 2]`` and ``[P_b, n_axes, 2]`` interval arrays over
+        the *same* tensor axes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``[P_a, P_b]`` element-count overlaps.
+    """
+    if blocks_a.shape[1] != blocks_b.shape[1]:
+        raise ValueError("block sets cover different tensor ranks")
+    if blocks_a.shape[1] == 0:
+        return np.ones((blocks_a.shape[0], blocks_b.shape[0]), dtype=np.int64)
+    lo = np.maximum(blocks_a[:, None, :, 0], blocks_b[None, :, :, 0])
+    hi = np.minimum(blocks_a[:, None, :, 1], blocks_b[None, :, :, 1])
+    return np.prod(np.maximum(hi - lo, 0), axis=-1, dtype=np.int64)

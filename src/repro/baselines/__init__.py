@@ -1,0 +1,30 @@
+"""Baseline and comparator strategy generators.
+
+* data parallelism — the standard practice PaSE is measured against;
+* expert-designed strategies — OWT for CNNs, data+pipeline for RNNs, the
+  Mesh-TensorFlow hybrid for Transformer (Section IV);
+* a FlexFlow-style MCMC search over the same configuration space
+  (the paper's state-of-the-art comparator, rebuilt on our cost oracle);
+* uniform random search (a sanity floor).
+"""
+
+from .data_parallel import data_parallel_strategy
+from .expert import (
+    auto_expert_strategy,
+    mesh_tf_transformer_expert,
+    owt_strategy,
+    rnn_pipeline_expert,
+)
+from .mcmc import MCMCOptions, mcmc_search
+from .random_search import random_search
+
+__all__ = [
+    "MCMCOptions",
+    "auto_expert_strategy",
+    "data_parallel_strategy",
+    "mcmc_search",
+    "mesh_tf_transformer_expert",
+    "owt_strategy",
+    "random_search",
+    "rnn_pipeline_expert",
+]

@@ -1,0 +1,17 @@
+"""Small shared helpers for baseline strategy generators."""
+
+from __future__ import annotations
+
+__all__ = ["pow2_floor", "split_dim"]
+
+
+def pow2_floor(x: int) -> int:
+    """Largest power of two <= x (1 for x < 1)."""
+    if x < 1:
+        return 1
+    return 1 << (int(x).bit_length() - 1)
+
+
+def split_dim(op, dim: str, amount: int) -> int:
+    """A valid power-of-two split of ``dim``: capped by its extent."""
+    return pow2_floor(min(amount, op.dim_size(dim)))

@@ -1,0 +1,30 @@
+"""Pure data parallelism: split every layer's batch dim ``p`` ways."""
+
+from __future__ import annotations
+
+from ..core.exceptions import StrategyError
+from ..core.graph import CompGraph
+from ..core.strategy import Strategy
+from ._util import pow2_floor
+
+__all__ = ["data_parallel_strategy"]
+
+
+def data_parallel_strategy(graph: CompGraph, p: int, *,
+                           batch_dim: str = "b") -> Strategy:
+    """The standard baseline: each device gets a full model replica and a
+    ``1/p`` batch shard.
+
+    The split is capped to the largest power of two not exceeding the
+    batch extent (data parallelism cannot use more devices than samples);
+    all other dims stay unsplit.
+    """
+    assignment: dict[str, tuple[int, ...]] = {}
+    for op in graph:
+        if not op.has_dim(batch_dim) or op.resolve_dim(batch_dim) != batch_dim:
+            raise StrategyError(
+                f"node {op.name!r} has no primary batch dim {batch_dim!r}")
+        cfg = [1] * op.rank
+        cfg[op.dim_index(batch_dim)] = pow2_floor(min(p, op.dim_size(batch_dim)))
+        assignment[op.name] = tuple(cfg)
+    return Strategy(assignment)

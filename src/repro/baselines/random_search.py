@@ -1,0 +1,44 @@
+"""Uniform random strategy search — a sanity floor for comparisons."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from ..core.configs import ConfigSpace
+from ..core.costmodel import CostTables
+from ..core.graph import CompGraph
+from ..core.strategy import SearchResult, Strategy
+
+__all__ = ["random_search"]
+
+
+def random_search(
+    graph: CompGraph,
+    space: ConfigSpace,
+    tables: CostTables,
+    *,
+    samples: int = 1_000,
+    rng: np.random.Generator | None = None,
+) -> SearchResult:
+    """Evaluate ``samples`` uniformly random strategies; return the best."""
+    t0 = time.perf_counter()
+    rng = rng if rng is not None else np.random.default_rng(0)
+    names = list(graph.node_names)
+    ksize = np.array([space.size(name) for name in names], dtype=np.int64)
+    best_cost = np.inf
+    best: dict[str, int] = {name: 0 for name in names}
+    for _ in range(samples):
+        draw = {name: int(rng.integers(k)) for name, k in zip(names, ksize)}
+        cost = tables.strategy_cost(draw)
+        if cost < best_cost:
+            best_cost = cost
+            best = draw
+    return SearchResult(
+        strategy=Strategy.from_indices(space, best),
+        cost=float(best_cost),
+        elapsed=time.perf_counter() - t0,
+        method="random",
+        stats={"samples": float(samples)},
+    )

@@ -1,0 +1,185 @@
+"""``pase`` command-line interface.
+
+Subcommands::
+
+    pase search   --model alexnet --p 8          find the best strategy
+    pase simulate --model rnnlm --p 16           simulate strategies
+    pase stats    --model inception_v3           graph/ordering statistics
+    pase table1   [--full]                       regenerate Table I
+    pase table2   [--p 32]                       regenerate Table II
+    pase figure6  [--full]                       regenerate Fig. 6a/6b
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from .analysis import section_3c_report
+from .cluster import simulate_step
+from .core.machine import GTX1080TI, RTX2080TI, MachineSpec
+from .experiments import figure6, table1, table2
+from .experiments.common import METHODS, build_setup, search_with
+from .models import BENCHMARKS
+
+__all__ = ["main"]
+
+_MACHINES: dict[str, MachineSpec] = {"1080ti": GTX1080TI, "2080ti": RTX2080TI}
+
+
+def _add_common(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--model", choices=sorted(BENCHMARKS), required=True)
+    sub.add_argument("--p", type=int, default=8, help="device count")
+    sub.add_argument("--machine", choices=sorted(_MACHINES), default="1080ti")
+    sub.add_argument("--mode", choices=("pow2", "divisors", "all"),
+                     default="pow2", help="configuration enumeration mode")
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    setup = build_setup(args.model, args.p, machine=_MACHINES[args.machine],
+                        mode=args.mode)
+    result = search_with(setup, args.method, seed=args.seed)
+    print(f"# {args.model} p={args.p} machine={args.machine} "
+          f"method={args.method}")
+    print(f"# cost={result.cost:.6e} FLOP-equivalents, "
+          f"elapsed={result.elapsed:.3f}s")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(result.strategy.to_json())
+        print(f"# strategy written to {args.json}")
+    else:
+        print(result.strategy.format_table(setup.graph))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    machine = _MACHINES[args.machine]
+    setup = build_setup(args.model, args.p, machine=machine, mode=args.mode)
+    rows = []
+    base = None
+    for method in args.methods:
+        strat = search_with(setup, method, seed=args.seed).strategy
+        rep = simulate_step(setup.graph, strat, machine, args.p,
+                            keep_trace=args.gantt)
+        if method == "data_parallel":
+            base = rep.throughput
+        rows.append((method, rep))
+    print(f"# {args.model} p={args.p} machine={args.machine}")
+    for method, rep in rows:
+        speed = f"  ({rep.throughput / base:.2f}x vs dp)" if base else ""
+        print(f"{method:16s} step={rep.step_time * 1e3:9.2f} ms  "
+              f"{rep.throughput:10.1f} samples/s{speed}")
+    if args.gantt:
+        from .cluster import render_gantt
+        for method, rep in rows:
+            show = [("gpu", d) for d in range(min(args.p, 4))] + \
+                [("tx", d) for d in range(min(args.p, 2))]
+            print(f"\n# timeline: {method} "
+                  f"(F fwd, B bwd, x xfer, r reduce, g gradsync, u update)")
+            print(render_gantt(rep.trace, rep.step_time, width=72,
+                               resources=show))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from .extensions import to_gshard_json
+
+    setup = build_setup(args.model, args.p, machine=_MACHINES[args.machine],
+                        mode=args.mode)
+    strat = search_with(setup, args.method, seed=args.seed).strategy
+    text = to_gshard_json(setup.graph, strat)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"# sharding spec written to {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from .extensions import pipeline_pase
+
+    machine = _MACHINES[args.machine]
+    graph = BENCHMARKS[args.model]()
+    res = pipeline_pase(graph, args.p, args.stages, machine=machine,
+                        mode=args.mode)
+    print(f"# {args.model} p={args.p} stages={args.stages} "
+          f"({res.devices_per_stage} devices/stage)")
+    for i, (stage, cost) in enumerate(zip(res.stages, res.stage_costs)):
+        print(f"stage {i}: {len(stage):3d} layers  cost={cost:.4e}  "
+              f"[{stage[0]} .. {stage[-1]}]")
+    print(f"bottleneck={res.bottleneck_cost:.4e}  "
+          f"balance={res.pipeline_efficiency:.2%}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    graph = BENCHMARKS[args.model]()
+    rep = section_3c_report(graph, ps=(args.p,), mode=args.mode)
+    print(json.dumps(rep, indent=2, default=str))
+    return 0
+
+
+#: Subcommands forwarded verbatim to their experiment driver's ``main``
+#: (argparse's REMAINDER cannot capture leading ``--options``, bpo-17050).
+_PASSTHROUGH = {"table1": table1, "table2": table2, "figure6": figure6}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] in _PASSTHROUGH:
+        return int(_PASSTHROUGH[argv[0]].main(argv[1:]) or 0)
+
+    parser = argparse.ArgumentParser(
+        prog="pase",
+        description="PaSE: automatic DNN parallelization-strategy search "
+                    "(IPDPS 2021 reproduction)")
+    subs = parser.add_subparsers(dest="command", required=True)
+
+    p_search = subs.add_parser("search", help="find the best strategy")
+    _add_common(p_search)
+    p_search.add_argument("--method", choices=METHODS, default="ours")
+    p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--json", help="write the strategy to a JSON file")
+    p_search.set_defaults(fn=_cmd_search)
+
+    p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
+    _add_common(p_sim)
+    p_sim.add_argument("--methods", nargs="+", choices=METHODS,
+                       default=["data_parallel", "expert", "ours"])
+    p_sim.add_argument("--seed", type=int, default=0)
+    p_sim.add_argument("--gantt", action="store_true",
+                       help="render ASCII timelines of the simulated step")
+    p_sim.set_defaults(fn=_cmd_simulate)
+
+    p_exp = subs.add_parser("export", help="emit GShard-style sharding "
+                            "annotations for the found strategy")
+    _add_common(p_exp)
+    p_exp.add_argument("--method", choices=METHODS, default="ours")
+    p_exp.add_argument("--seed", type=int, default=0)
+    p_exp.add_argument("--out", help="write JSON here instead of stdout")
+    p_exp.set_defaults(fn=_cmd_export)
+
+    p_pipe = subs.add_parser("pipeline", help="PipeDream-style stages + "
+                             "PaSE per stage (Section VI composition)")
+    _add_common(p_pipe)
+    p_pipe.add_argument("--stages", type=int, default=2)
+    p_pipe.set_defaults(fn=_cmd_pipeline)
+
+    p_stats = subs.add_parser("stats", help="graph/ordering statistics")
+    _add_common(p_stats)
+    p_stats.set_defaults(fn=_cmd_stats)
+
+    for name in _PASSTHROUGH:
+        subs.add_parser(name, help=f"regenerate the paper's {name} "
+                        "(arguments pass through to the experiment driver)")
+
+    args = parser.parse_args(argv)
+    return int(args.fn(args) or 0)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

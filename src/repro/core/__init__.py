@@ -1,0 +1,64 @@
+"""Core of the PaSE reproduction: graphs, costs, orderings, and the DP."""
+
+from .configs import ConfigSpace, batch_split_config, enumerate_configs, serial_config
+from .costmodel import CostModel, CostTables, allreduce_bytes
+from .dims import Dim, ceil_div, shard_extent, shard_volume
+from .dp import DEFAULT_MEMORY_BUDGET, dp_table_profile, find_best_strategy
+from .exceptions import (
+    ConfigError,
+    GraphError,
+    PaseError,
+    SearchResourceError,
+    SimulationError,
+    StrategyError,
+)
+from .graph import CompGraph, Edge
+from .machine import GTX1080TI, RTX2080TI, UNIT_BALANCE, MachineSpec
+from .naive import brute_force_strategy, naive_bf_strategy
+from .sequencer import (
+    SequencedGraph,
+    breadth_first_seq,
+    generate_seq,
+    random_seq,
+)
+from .strategy import SearchResult, Strategy
+from .tensors import DTYPE_BYTES, TensorSpec
+
+__all__ = [
+    "CompGraph",
+    "ConfigSpace",
+    "CostModel",
+    "CostTables",
+    "DEFAULT_MEMORY_BUDGET",
+    "DTYPE_BYTES",
+    "Dim",
+    "Edge",
+    "GTX1080TI",
+    "MachineSpec",
+    "PaseError",
+    "ConfigError",
+    "GraphError",
+    "RTX2080TI",
+    "SearchResourceError",
+    "SearchResult",
+    "SequencedGraph",
+    "SimulationError",
+    "Strategy",
+    "StrategyError",
+    "TensorSpec",
+    "UNIT_BALANCE",
+    "allreduce_bytes",
+    "batch_split_config",
+    "breadth_first_seq",
+    "brute_force_strategy",
+    "ceil_div",
+    "dp_table_profile",
+    "enumerate_configs",
+    "find_best_strategy",
+    "generate_seq",
+    "naive_bf_strategy",
+    "random_seq",
+    "serial_config",
+    "shard_extent",
+    "shard_volume",
+]

@@ -1,0 +1,127 @@
+"""Broadcast helpers shared by the tensorized dynamic programs.
+
+DP tables are numpy arrays with one axis per dependent-set vertex (axis
+length = that vertex's configuration count).  Summing the recurrence terms
+is then a broadcast add of arrays whose axes are *subsets* of the target
+axes; minimization over the candidate-configuration axis is chunked so the
+transient cost array never exceeds a cell budget (HPC guide: vectorize the
+hot loop, stay easy on memory).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["aligned_term", "chunked_min_argmin"]
+
+
+def aligned_term(arr: np.ndarray, axes: Sequence[int],
+                 full_axes: Sequence[int]) -> np.ndarray:
+    """View ``arr`` so it broadcasts against an array over ``full_axes``.
+
+    Parameters
+    ----------
+    arr:
+        Term array with one axis per entry of ``axes`` (in that order).
+    axes:
+        Vertex positions labelling ``arr``'s axes; must be a subset of
+        ``full_axes``.
+    full_axes:
+        Vertex positions labelling the target array's axes.
+
+    Returns
+    -------
+    numpy.ndarray
+        ``arr`` transposed into ``full_axes`` order with singleton axes
+        inserted for the missing positions (a view — no copy).
+    """
+    full_axes = tuple(full_axes)
+    axes = tuple(axes)
+    if arr.ndim != len(axes):
+        raise ValueError(f"term has {arr.ndim} axes but {len(axes)} labels")
+    missing = set(axes) - set(full_axes)
+    if missing:
+        raise ValueError(f"term axes {sorted(missing)} not in target axes")
+    rank = {ax: t for t, ax in enumerate(full_axes)}
+    perm = sorted(range(len(axes)), key=lambda t: rank[axes[t]])
+    if perm != list(range(len(axes))):
+        arr = arr.transpose(perm)
+    shape = [1] * len(full_axes)
+    for t, ax in enumerate(sorted(axes, key=rank.get)):
+        shape[rank[ax]] = arr.shape[t]
+    return arr.reshape(shape)
+
+
+def chunked_min_argmin(
+    terms: Iterable[tuple[np.ndarray, tuple[int, ...]]],
+    full_axes: tuple[int, ...],
+    cfg_axis: int,
+    cfg_count: int,
+    table_shape: tuple[int, ...],
+    chunk_cells: int,
+    deadline: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Minimize a broadcast sum of terms over the configuration axis.
+
+    Conceptually computes ``cost = Σ aligned(term)`` over
+    ``full_axes = table_axes + (cfg_axis,)`` and returns
+    ``(cost.min(-1), cost.argmin(-1))`` — but evaluated in chunks along the
+    configuration axis so the transient array stays within ``chunk_cells``
+    cells.
+
+    Parameters
+    ----------
+    terms:
+        ``(array, axes)`` pairs; axes are vertex positions, subsets of
+        ``full_axes``.  Terms whose axes include ``cfg_axis`` are sliced
+        per chunk.
+    full_axes:
+        Table axes followed by the configuration axis.
+    cfg_axis:
+        Position label of the candidate vertex (last entry of full_axes).
+    cfg_count:
+        Number of candidate configurations K_i.
+    table_shape:
+        Shape over the table axes (full_axes minus cfg_axis).
+    chunk_cells:
+        Max transient cells per chunk evaluation.
+    deadline:
+        Optional ``time.perf_counter()`` value; raises `TimeoutError` when
+        a chunk boundary passes it (big chunked tables can take unbounded
+        time while still fitting in memory).
+    """
+    if full_axes[-1] != cfg_axis:
+        raise ValueError("cfg_axis must be the last of full_axes")
+    terms = list(terms)
+    table_cells = int(np.prod(table_shape, dtype=np.int64)) if table_shape else 1
+    chunk = max(1, min(cfg_count, chunk_cells // max(table_cells, 1)))
+
+    best = np.full(table_shape, np.inf, dtype=np.float64)
+    best_arg = np.zeros(table_shape, dtype=np.int32)
+    for c0 in range(0, cfg_count, chunk):
+        if deadline is not None and time.perf_counter() > deadline:
+            raise TimeoutError("chunked DP evaluation passed its deadline")
+        c1 = min(cfg_count, c0 + chunk)
+        acc: np.ndarray | None = None
+        for arr, axes in terms:
+            if cfg_axis in axes:
+                sl = [slice(None)] * arr.ndim
+                sl[axes.index(cfg_axis)] = slice(c0, c1)
+                piece = arr[tuple(sl)]
+            else:
+                piece = arr
+            view = aligned_term(piece, axes, full_axes)
+            acc = view.astype(np.float64) if acc is None else acc + view
+        if acc is None:
+            acc = np.zeros(table_shape + (c1 - c0,), dtype=np.float64)
+        else:
+            acc = np.broadcast_to(acc, table_shape + (c1 - c0,))
+        cand = acc.min(axis=-1)
+        arg = acc.argmin(axis=-1).astype(np.int32) + c0
+        better = cand < best
+        best = np.where(better, cand, best)
+        best_arg = np.where(better, arg, best_arg)
+    return best, best_arg

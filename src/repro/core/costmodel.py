@@ -1,0 +1,279 @@
+"""The analytic cost model of Equation (1).
+
+``F(G, φ) = Σ_v t_l(v, φ, r)  +  Σ_(u,v)∈E  r · t_x(u, v, φ)``
+
+*Layer cost* ``t_l`` (FLOP units, per worst device):
+
+* compute: total training FLOPs of the layer divided by the number of
+  devices the configuration uses;
+* partial-sum reduction: splitting contracted dims ``m``-ways leaves each
+  device with a partial output that is combined by an all-reduce over the
+  ``m``-group (and the matching gradient broadcast on the backward pass);
+* parameter-gradient all-reduce: dims *not* appearing in a parameter
+  tensor's axes replicate that parameter; its gradients are all-reduced
+  across the replication group every step (the classic data-parallelism
+  synchronization cost);
+* operator-specific extra communication (e.g. convolution halo exchange).
+
+*Transfer cost* ``t_x`` (bytes, per worst device pair): the volume the
+consumer needs minus the best-case aligned overlap with what the producer
+holds, in both directions (activations forward, gradients backward), which
+makes it edge-direction symmetric as required by the paper (footnote 2).
+
+All per-node and per-edge costs are precomputed **vectorized over entire
+configuration tables** into `CostTables`; the dynamic program, brute force,
+MCMC comparator, and reports all rank strategies with these shared arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ops.base import OpSpec
+from .configs import ConfigSpace
+from .dims import shard_extent
+from .exceptions import StrategyError
+from .graph import CompGraph, Edge
+from .machine import MachineSpec
+from .tensors import DTYPE_BYTES, TensorSpec
+
+__all__ = ["CostModel", "CostTables", "allreduce_bytes"]
+
+
+def allreduce_bytes(volume_bytes, group_size):
+    """Per-device bytes moved by a ring all-reduce of ``volume_bytes``.
+
+    ``2 · v · (m - 1) / m`` (reduce-scatter + all-gather).  Vectorized;
+    returns zeros where the group size is 1.
+    """
+    v = np.asarray(volume_bytes, dtype=np.float64)
+    m = np.asarray(group_size, dtype=np.float64)
+    return np.where(m > 1, 2.0 * v * (m - 1.0) / np.maximum(m, 1.0), 0.0)
+
+
+class CostModel:
+    """Evaluates ``t_l`` and ``t_x`` for a given machine.
+
+    Parameters
+    ----------
+    machine:
+        Supplies the FLOP-to-byte ratio ``r``.
+    include_grad_sync / include_reduction / include_extra:
+        Ablation switches disabling individual internal-communication
+        terms of ``t_l`` (used by the ablation benchmarks to show which
+        term drives each strategy decision).
+    """
+
+    #: FLOPs charged per parameter in the update phase (momentum SGD:
+    #: read gradient + momentum, two multiply-adds, write back).
+    UPDATE_FLOPS_PER_PARAM = 4.0
+
+    def __init__(self, machine: MachineSpec, *, include_grad_sync: bool = True,
+                 include_reduction: bool = True, include_extra: bool = True) -> None:
+        self.machine = machine
+        self.r = machine.flop_byte_ratio
+        self.include_grad_sync = include_grad_sync
+        self.include_reduction = include_reduction
+        self.include_extra = include_extra
+
+    # -- layer cost t_l ------------------------------------------------------
+
+    def layer_comm_bytes(self, op: OpSpec, configs: np.ndarray) -> np.ndarray:
+        """Internal communication bytes per device, vectorized over [K, d]."""
+        configs = np.asarray(configs, dtype=np.int64)
+        total = np.zeros(configs.shape[:-1], dtype=np.float64)
+
+        # Partial-sum reduction over contracted dims (forward), plus the
+        # matching gradient broadcast on the backward pass -> 2x.
+        if self.include_reduction and op.reduction_dims and op.outputs:
+            red_idx = [op.dim_index(d) for d in op.reduction_dims]
+            m = np.prod(configs[..., red_idx], axis=-1, dtype=np.int64)
+            out_shard = op.primary_output.shard_volume(op, configs) * DTYPE_BYTES
+            total += 2.0 * allreduce_bytes(out_shard, m)
+
+        # Gradient all-reduce across parameter replication groups.
+        if self.include_grad_sync:
+            for spec in op.inputs.values():
+                if not spec.is_param:
+                    continue
+                rho = spec.replication(op, configs)
+                g_shard = spec.grad_sync_volume(op, configs) * DTYPE_BYTES
+                total += allreduce_bytes(g_shard, rho)
+
+        if self.include_extra:
+            total += op.extra_comm_bytes(configs)
+        return total
+
+    def update_flops(self, op: OpSpec, configs: np.ndarray) -> np.ndarray:
+        """Per-device update-phase FLOPs (the paper's third training phase).
+
+        Proportional to the largest parameter shard a device holds —
+        unsplit giant tables (embeddings) pay for their full size every
+        step, which is part of why PaSE shards them (Table II).
+        """
+        configs = np.asarray(configs, dtype=np.int64)
+        total = np.zeros(configs.shape[:-1], dtype=np.float64)
+        for spec in op.inputs.values():
+            if spec.is_param:
+                total += spec.shard_volume(op, configs)
+        return total * self.UPDATE_FLOPS_PER_PARAM
+
+    def layer_cost(self, op: OpSpec, configs: np.ndarray) -> np.ndarray:
+        """t_l in FLOP units, vectorized over configurations [K, d] -> [K]."""
+        configs = np.asarray(configs, dtype=np.int64)
+        parts = np.prod(configs, axis=-1, dtype=np.int64)
+        compute = op.flops / parts + self.update_flops(op, configs)
+        return compute + self.r * self.layer_comm_bytes(op, configs)
+
+    # -- transfer cost t_x ----------------------------------------------------
+
+    @staticmethod
+    def _overlap_volume(shape: np.ndarray, splits_u: np.ndarray,
+                        splits_v: np.ndarray) -> np.ndarray:
+        """Best-case aligned overlap of producer/consumer block shards.
+
+        Along each tensor axis the overlap of a 1/a block with a 1/b block
+        is at most ``ceil(extent / max(a, b))`` elements; a greedy
+        locality-maximizing device assignment (Section II) achieves the
+        product bound for the best-aligned device.
+        """
+        su = splits_u[:, None, :]
+        sv = splits_v[None, :, :]
+        joint = np.maximum(su, sv)
+        return np.prod(shard_extent(shape, joint), axis=-1, dtype=np.int64)
+
+    def transfer_bytes_matrix(self, src: OpSpec, out_spec: TensorSpec,
+                              dst: OpSpec, in_spec: TensorSpec,
+                              configs_u: np.ndarray,
+                              configs_v: np.ndarray) -> np.ndarray:
+        """t_x in bytes over the full configuration cross-product.
+
+        Returns ``[K_u, K_v]``: forward deficit (consumer need minus
+        overlap) plus backward deficit (producer grad need minus overlap),
+        each taken at the *worst* device (the paper's ``max_d``).
+
+        Replication matters for the worst device: when the consumer
+        replicates the tensor across more devices than the producer keeps
+        copies (``ρ_v > ρ_u``), some consumer replica cannot be co-located
+        with any holder of its block and must receive its full need — the
+        aligned overlap only helps when every replica finds a resident
+        copy (and symmetrically for gradients flowing back).
+        """
+        cu = np.asarray(configs_u, dtype=np.int64)
+        cv = np.asarray(configs_v, dtype=np.int64)
+        shape = np.asarray(out_spec.shape(src), dtype=np.int64)
+        if shape.size == 0:
+            return np.zeros((cu.shape[0], cv.shape[0]), dtype=np.float64)
+        splits_u = out_spec.splits(src, cu)
+        splits_v = in_spec.splits(dst, cv)
+        held = np.prod(shard_extent(shape, splits_u), axis=-1, dtype=np.int64)
+        need = np.prod(shard_extent(shape, splits_v), axis=-1, dtype=np.int64)
+        ov = self._overlap_volume(shape, splits_u, splits_v)
+        # Replication factors: devices per distinct block of the tensor.
+        rep_u = np.prod(cu, axis=-1) // np.maximum(np.prod(splits_u, axis=-1), 1)
+        rep_v = np.prod(cv, axis=-1) // np.maximum(np.prod(splits_v, axis=-1), 1)
+        starved_fwd = rep_v[None, :] > rep_u[:, None]
+        starved_bwd = rep_u[:, None] > rep_v[None, :]
+        fwd = np.where(starved_fwd, need[None, :],
+                       np.maximum(need[None, :] - ov, 0))
+        bwd = np.where(starved_bwd, held[:, None],
+                       np.maximum(held[:, None] - ov, 0))
+        # Every transferred byte occupies both endpoints' links (the
+        # sender streams what the receiver ingests), so each direction's
+        # worst-device deficit is charged twice.
+        return 2.0 * (fwd + bwd).astype(np.float64) * DTYPE_BYTES
+
+    def edge_bytes_matrix(self, graph: CompGraph, edge: Edge,
+                          configs_u: np.ndarray, configs_v: np.ndarray) -> np.ndarray:
+        src, dst = graph.node(edge.src), graph.node(edge.dst)
+        return self.transfer_bytes_matrix(
+            src, src.outputs[edge.src_port], dst, dst.inputs[edge.dst_port],
+            configs_u, configs_v)
+
+    # -- table construction --------------------------------------------------
+
+    def build_tables(self, graph: CompGraph, space: ConfigSpace) -> "CostTables":
+        """Precompute `CostTables` for one (graph, machine, p) instance."""
+        lc = {op.name: self.layer_cost(op, space.configs(op.name)) for op in graph}
+        pair_tx: dict[tuple[str, str], np.ndarray] = {}
+        for e in graph.edges:
+            mat = self.edge_bytes_matrix(
+                graph, e, space.configs(e.src), space.configs(e.dst)) * self.r
+            key, flip = _canonical(e.src, e.dst)
+            if flip:
+                mat = mat.T
+            if key in pair_tx:
+                pair_tx[key] = pair_tx[key] + mat
+            else:
+                pair_tx[key] = mat
+        return CostTables(graph=graph, space=space, machine=self.machine,
+                          lc=lc, pair_tx=pair_tx)
+
+
+def _canonical(u: str, v: str) -> tuple[tuple[str, str], bool]:
+    """Canonical unordered pair key; ``flip`` True if (v, u) is canonical."""
+    return ((u, v), False) if u <= v else ((v, u), True)
+
+
+@dataclass
+class CostTables:
+    """Shared ranking oracle: precomputed per-node and per-pair costs.
+
+    Attributes
+    ----------
+    lc:
+        Node name -> ``[K_v]`` layer costs (FLOP units).
+    pair_tx:
+        Canonical node pair -> ``[K_u, K_v]`` transfer costs already scaled
+        by ``r`` (FLOP units); multiple edges between a pair are summed.
+    """
+
+    graph: CompGraph
+    space: ConfigSpace
+    machine: MachineSpec
+    lc: dict[str, np.ndarray]
+    pair_tx: dict[tuple[str, str], np.ndarray]
+    _nbr_cache: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
+
+    def tx(self, u: str, v: str) -> np.ndarray:
+        """Transfer-cost matrix oriented as ``[K_u, K_v]``."""
+        key, flip = _canonical(u, v)
+        mat = self.pair_tx[key]
+        return mat.T if flip else mat
+
+    def has_pair(self, u: str, v: str) -> bool:
+        return _canonical(u, v)[0] in self.pair_tx
+
+    def pairs(self) -> tuple[tuple[str, str], ...]:
+        return tuple(self.pair_tx)
+
+    def strategy_cost(self, indices: dict[str, int]) -> float:
+        """F(G, φ) for a strategy given as node -> configuration index."""
+        missing = set(self.lc) - set(indices)
+        if missing:
+            raise StrategyError(f"strategy missing nodes: {sorted(missing)[:5]}")
+        total = 0.0
+        for name, k in indices.items():
+            total += float(self.lc[name][k])
+        for (u, v), mat in self.pair_tx.items():
+            total += float(mat[indices[u], indices[v]])
+        return total
+
+    def node_cost(self, name: str, k: int) -> float:
+        return float(self.lc[name][k])
+
+    def pair_cost(self, u: str, v: str, ku: int, kv: int) -> float:
+        return float(self.tx(u, v)[ku, kv])
+
+    def neighbors(self, name: str) -> tuple[str, ...]:
+        if name not in self._nbr_cache:
+            self._nbr_cache[name] = self.graph.neighbors(name)
+        return self._nbr_cache[name]
+
+    def nbytes(self) -> int:
+        """Memory footprint of the precomputed tables."""
+        total = sum(a.nbytes for a in self.lc.values())
+        total += sum(a.nbytes for a in self.pair_tx.values())
+        return total

@@ -1,0 +1,92 @@
+"""Named iteration-space dimensions and shard arithmetic.
+
+Every operator in a computation graph carries an *iteration space*: an
+ordered tuple of named dimensions (paper, Section II).  A parallelization
+configuration splits each dimension into an integral number of equal (up to
+ceil-rounding) parts.  This module provides the `Dim` value type and the
+vectorized shard-volume arithmetic shared by the cost model and the cluster
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .exceptions import ConfigError
+
+__all__ = ["Dim", "shard_extent", "shard_volume", "ceil_div"]
+
+
+@dataclass(frozen=True, slots=True)
+class Dim:
+    """A named iteration-space dimension.
+
+    Attributes
+    ----------
+    name:
+        Short identifier used in configurations and reports (``"b"`` for
+        batch, ``"n"`` for out-channels, ...). Names are unique within an
+        operator's iteration space but freely reused across operators.
+    size:
+        Extent of the dimension (number of iteration points along it).
+    splittable:
+        Whether a configuration may split this dimension.  Filter kernel
+        dimensions of convolutions, for example, are marked unsplittable:
+        splitting a 3x3 stencil across devices is never profitable and
+        excluding it keeps the configuration space close to the counts the
+        paper reports (Section III-C).
+    """
+
+    name: str
+    size: int
+    splittable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigError(f"dimension {self.name!r} has size {self.size}; must be >= 1")
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Ceiling integer division for positive operands."""
+    return -(-a // b)
+
+
+def shard_extent(size, split):
+    """Per-device extent of a dimension of ``size`` split ``split`` ways.
+
+    Shards are equal up to ceil-rounding; the cost model always accounts the
+    *largest* shard because Equation (1)'s per-device terms take the worst
+    device.  Works elementwise on numpy arrays.
+    """
+    return -(-np.asarray(size) // np.asarray(split))
+
+
+def shard_volume(shape, splits) -> np.ndarray:
+    """Volume (element count) of the largest shard of a tensor.
+
+    Parameters
+    ----------
+    shape:
+        1-D array-like of ``m`` axis extents.
+    splits:
+        Array of split factors with trailing axis of length ``m``; leading
+        axes broadcast (e.g. ``[K, m]`` evaluates ``K`` configurations at
+        once, ``[K_u, K_v, m]`` a full configuration cross-product).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``prod(ceil(shape / splits), axis=-1)`` with shape ``splits.shape[:-1]``.
+    """
+    shape = np.asarray(shape, dtype=np.int64)
+    splits = np.asarray(splits, dtype=np.int64)
+    if shape.ndim != 1:
+        raise ConfigError("shape must be one-dimensional")
+    if splits.shape[-1] != shape.shape[0]:
+        raise ConfigError(
+            f"splits trailing axis {splits.shape[-1]} != tensor rank {shape.shape[0]}")
+    if splits.size and splits.min() < 1:
+        raise ConfigError("split factors must be positive")
+    return np.prod(shard_extent(shape, splits), axis=-1, dtype=np.int64)

@@ -1,0 +1,203 @@
+"""FINDBESTSTRATEGY (paper, Fig. 4) — the tensorized dynamic program.
+
+Implements recurrence (4):
+
+``R(i, φ) = min_C [ H(i, φ ∪ {(v_i, C)}) + Σ_{X(j) ∈ S(i)} R(j, φ'') ]``
+
+where ``H(i, ·)`` is the layer cost of ``v_i`` plus its transfer costs to
+neighbors later in the sequence, ``S(i)`` are the connected subsets of
+``v_i``, and tables are keyed by substrategies of the dependent set
+``D(i)``.
+
+Representation: the DP table of vertex ``i`` is a numpy array with one
+axis per vertex of ``D(i)`` (axis length = that vertex's configuration
+count).  All ``Φ_|D(i)`` substrategies are processed per candidate
+configuration as one broadcast expression (chunked along the candidate
+axis), which keeps the exponential inner loop out of the Python
+interpreter entirely.
+
+The memory the paper's Table I reports as "OOM" for the breadth-first
+ordering is modelled by a byte budget: before materializing a table the
+DP accounts its cells and raises `SearchResourceError` when the budget
+would be exceeded.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from .configs import ConfigSpace
+from .costmodel import CostTables
+from .exceptions import SearchResourceError
+from .graph import CompGraph
+from .sequencer import SequencedGraph, generate_seq
+from .strategy import SearchResult, Strategy
+from ._tensorops import chunked_min_argmin
+
+__all__ = ["find_best_strategy", "dp_table_profile", "DEFAULT_MEMORY_BUDGET"]
+
+#: Default DP memory budget (bytes).  Generous enough for every
+#: GENERATESEQ-ordered benchmark in the paper; the breadth-first ordering
+#: blows through it on InceptionV3 and Transformer exactly as Table I's
+#: OOM entries indicate.
+DEFAULT_MEMORY_BUDGET = 2 << 30
+
+#: Max cells of the transient cost array per chunk (64 MiB of float64).
+DEFAULT_CHUNK_CELLS = 8_000_000
+
+
+@dataclass
+class _VertexRecord:
+    """Stored DP state for one sequenced vertex."""
+
+    axes: tuple[int, ...]          # D(i) positions labelling table axes
+    table: np.ndarray | None       # min-cost over substrategies of D(i)
+    argmin: np.ndarray             # best config index of v_i per cell
+    children: tuple[int, ...]      # max position j of each component in S(i)
+
+
+def find_best_strategy(
+    graph: CompGraph,
+    space: ConfigSpace,
+    tables: CostTables,
+    *,
+    order: Sequence[str] | None = None,
+    memory_budget: int = DEFAULT_MEMORY_BUDGET,
+    chunk_cells: int = DEFAULT_CHUNK_CELLS,
+    method_name: str = "pase-dp",
+) -> SearchResult:
+    """Find the minimum-cost strategy under the cost oracle ``tables``.
+
+    Parameters
+    ----------
+    graph, space, tables:
+        The computation graph, its configuration space, and the
+        precomputed cost tables (all for the same ``p`` and machine).
+    order:
+        Vertex ordering; defaults to GENERATESEQ.  Passing a
+        breadth-first or random ordering reproduces the paper's baselines
+        — recurrence (4) is valid for any ordering (Theorem 1), only the
+        table sizes change.
+    memory_budget:
+        Byte budget for live DP tables plus the transient cost array;
+        exceeding it raises `SearchResourceError` (Table I's "OOM").
+
+    Returns
+    -------
+    SearchResult
+        With ``stats`` containing ``cells`` (DP cells evaluated),
+        ``peak_bytes``, ``max_dependent`` (M), and ``k_max`` (K).
+    """
+    t0 = time.perf_counter()
+    if order is None:
+        order = generate_seq(graph)
+    seq = SequencedGraph.build(graph, order)
+    n = len(seq)
+    if n == 0:
+        return SearchResult(Strategy({}), 0.0, time.perf_counter() - t0, method_name)
+
+    ksize = np.array([space.size(name) for name in seq.order], dtype=np.int64)
+    records: list[_VertexRecord | None] = [None] * n
+    live_bytes = 0
+    peak_bytes = 0
+    cells_evaluated = 0
+
+    for i in range(n):
+        dep = seq.dep[i]
+        comps = seq.connected_subsets(i)
+        children = tuple(max(c) for c in comps)
+        full_axes = dep + (i,)
+        table_shape = tuple(int(ksize[d]) for d in dep)
+        table_cells = int(np.prod(table_shape, dtype=np.int64)) if dep else 1
+
+        # -- memory accounting (tables are float64 + int32 argmin) --------
+        needed = table_cells * 12 + min(table_cells * int(ksize[i]), chunk_cells) * 8
+        if live_bytes + needed > memory_budget:
+            raise SearchResourceError(
+                f"DP table for vertex {seq.name(i)!r} needs {needed} bytes "
+                f"({live_bytes} live, budget {memory_budget}); |D(i)|={len(dep)}",
+                requested_bytes=live_bytes + needed, budget_bytes=memory_budget)
+
+        terms: list[tuple[np.ndarray, tuple[int, ...]]] = []
+        terms.append((tables.lc[seq.name(i)], (i,)))
+        for u in seq.later_neighbors(i):
+            mat = tables.tx(seq.name(i), seq.name(u))  # [K_i, K_u]
+            terms.append((mat, (i, u)))
+        for j in children:
+            rec = records[j]
+            assert rec is not None and rec.table is not None, \
+                f"child table {j} consumed twice"
+            terms.append((rec.table, rec.axes))
+
+        table, argmin = chunked_min_argmin(
+            terms, full_axes, i, int(ksize[i]), table_shape, chunk_cells)
+        cells_evaluated += table_cells * int(ksize[i])
+
+        # Child tables are consulted exactly once; free them.
+        for j in children:
+            rec = records[j]
+            assert rec is not None and rec.table is not None
+            live_bytes -= rec.table.nbytes
+            rec.table = None
+
+        records[i] = _VertexRecord(axes=dep, table=table, argmin=argmin,
+                                   children=children)
+        live_bytes += table.nbytes + argmin.nbytes
+        peak_bytes = max(peak_bytes, live_bytes + needed)
+
+    # -- total cost: sum of the (scalar) root tables -----------------------
+    roots = seq.roots()
+    total = 0.0
+    for rt in roots:
+        rec = records[rt]
+        assert rec is not None and rec.table is not None and rec.table.shape == ()
+        total += float(rec.table)
+
+    # -- back-substitution (Fig. 4's v.cfg extraction), iterative ----------
+    chosen: dict[int, int] = {}
+    stack = list(roots)
+    while stack:
+        i = stack.pop()
+        rec = records[i]
+        assert rec is not None
+        idx = tuple(chosen[d] for d in rec.axes)
+        chosen[i] = int(rec.argmin[idx])
+        stack.extend(rec.children)
+    assert len(chosen) == n, "extraction did not reach every vertex"
+
+    indices = {seq.name(i): k for i, k in chosen.items()}
+    strategy = Strategy.from_indices(space, indices)
+    elapsed = time.perf_counter() - t0
+    return SearchResult(
+        strategy=strategy,
+        cost=total,
+        elapsed=elapsed,
+        method=method_name,
+        stats={
+            "cells": float(cells_evaluated),
+            "peak_bytes": float(peak_bytes),
+            "max_dependent": float(seq.max_dependent_size),
+            "k_max": float(space.max_size),
+            "vertices": float(n),
+        },
+    )
+
+
+def dp_table_profile(seq: SequencedGraph, space: ConfigSpace) -> list[int]:
+    """Cells of each vertex's DP cost array, ``Π_{d ∈ D(i)} K_d · K_i``.
+
+    A cheap predictor of the DP's time/memory for an ordering — this is
+    the quantity GENERATESEQ minimizes and the Section III-C analysis
+    reports (``K^{M+1}`` combinations per vertex).
+    """
+    sizes = []
+    for i in range(len(seq)):
+        cells = space.size(seq.name(i))
+        for d in seq.dep[i]:
+            cells *= space.size(seq.name(d))
+        sizes.append(int(cells))
+    return sizes

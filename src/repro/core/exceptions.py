@@ -1,0 +1,43 @@
+"""Exception hierarchy for the PaSE reproduction."""
+
+from __future__ import annotations
+
+
+class PaseError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GraphError(PaseError):
+    """Raised for malformed computation graphs (dangling edges, shape
+    mismatches between producer and consumer tensors, duplicate names)."""
+
+
+class ConfigError(PaseError):
+    """Raised for invalid parallelization configurations (wrong arity,
+    non-positive split factors, product exceeding the device count)."""
+
+
+class StrategyError(PaseError):
+    """Raised for invalid parallelization strategies (missing nodes,
+    configurations inconsistent with the graph)."""
+
+
+class SearchResourceError(PaseError):
+    """Raised when a strategy search exceeds its memory budget.
+
+    This is the deterministic stand-in for the out-of-memory failures the
+    paper reports for the breadth-first baseline in Table I: instead of
+    letting the process die, searches account the DP table cells they are
+    about to allocate against a byte budget and raise this error.
+    """
+
+    def __init__(self, message: str, *, requested_bytes: int | None = None,
+                 budget_bytes: int | None = None) -> None:
+        super().__init__(message)
+        self.requested_bytes = requested_bytes
+        self.budget_bytes = budget_bytes
+
+
+class SimulationError(PaseError):
+    """Raised for inconsistent cluster-simulation inputs (unplaced shards,
+    unknown devices, dependency cycles in the task graph)."""

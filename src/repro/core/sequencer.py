@@ -1,0 +1,295 @@
+"""Vertex orderings and dependent-set machinery (paper, Section III).
+
+The efficiency of the dynamic program hinges on the *ordering* of the
+vertices: DP tables are keyed by the dependent set ``D(i)`` of each vertex,
+and table sizes are exponential in ``|D(i)|``.  This module provides
+
+* :func:`generate_seq` — the paper's GENERATESEQ (Fig. 3): greedily pick
+  the unsequenced vertex with the smallest maintained dependent set, so
+  high-degree nodes are sequenced only after their sparse neighborhoods;
+* :func:`breadth_first_seq` — the naive baseline ordering (Section III-A);
+* :func:`random_seq` — for ablations;
+* :class:`SequencedGraph` — a graph indexed by sequence position with
+  dependent sets ``D(i)``, connected sets ``X(i)`` and connected subsets
+  ``S(i)`` (Section III-B definitions), consumed by the DP;
+* definitional reference implementations of ``D/X/S`` used by the
+  Theorem 2 property tests.
+
+The incremental dependent-set update (Fig. 3, line 8) is valid for *any*
+ordering — the correctness proof (Appendix B) never uses the greedy pick —
+so `SequencedGraph` uses it to annotate arbitrary orderings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from .exceptions import GraphError
+from .graph import CompGraph
+
+__all__ = [
+    "generate_seq",
+    "breadth_first_seq",
+    "random_seq",
+    "SequencedGraph",
+    "dependent_set_reference",
+    "connected_set_reference",
+    "connected_subsets_reference",
+]
+
+
+# ---------------------------------------------------------------------------
+# Orderings
+# ---------------------------------------------------------------------------
+
+def generate_seq(graph: CompGraph) -> tuple[str, ...]:
+    """GENERATESEQ (paper Fig. 3): order vertices to keep ``|D(i)|`` small.
+
+    Maintains, for every unsequenced vertex ``v``, its prospective
+    dependent set ``v.d``; each iteration sequences the vertex with the
+    smallest ``|v.d|`` (ties broken by graph insertion order, which makes
+    the result deterministic) and merges its set into its dependents'.
+
+    Complexity O(|V|^2) set operations, as in the paper.
+    """
+    names = graph.node_names
+    dep: dict[str, set[str]] = {n: set(graph.neighbors(n)) for n in names}
+    unsequenced = list(names)
+    order: list[str] = []
+    for _ in range(len(names)):
+        pick = min(unsequenced, key=lambda n: len(dep[n]))
+        unsequenced.remove(pick)
+        order.append(pick)
+        pick_set = dep[pick]
+        for v in pick_set:
+            merged = dep[v] | pick_set
+            merged.discard(pick)
+            merged.discard(v)
+            dep[v] = merged
+    return tuple(order)
+
+
+def breadth_first_seq(graph: CompGraph, root: str | None = None) -> tuple[str, ...]:
+    """Breadth-first ordering over the undirected graph (Section III-A).
+
+    Starts from ``root`` (default: the first topological source) and, for
+    forests, restarts from the next unvisited vertex.
+    """
+    names = graph.node_names
+    if not names:
+        return ()
+    if root is None:
+        topo = graph.topological_order()
+        root = topo[0]
+    elif root not in graph:
+        raise GraphError(f"unknown BFS root {root!r}")
+    order: list[str] = []
+    visited: set[str] = set()
+    pending = [root] + [n for n in names if n != root]
+    for start in pending:
+        if start in visited:
+            continue
+        queue = [start]
+        visited.add(start)
+        while queue:
+            n = queue.pop(0)
+            order.append(n)
+            for m in graph.neighbors(n):
+                if m not in visited:
+                    visited.add(m)
+                    queue.append(m)
+    return tuple(order)
+
+
+def random_seq(graph: CompGraph, rng: np.random.Generator) -> tuple[str, ...]:
+    """A uniformly random vertex ordering (ablation baseline)."""
+    names = list(graph.node_names)
+    rng.shuffle(names)
+    return tuple(names)
+
+
+# ---------------------------------------------------------------------------
+# Sequenced graph: positions, D(i), X(i), S(i)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SequencedGraph:
+    """A computation graph annotated with one vertex ordering.
+
+    All sets are represented by 0-based sequence positions; ``order[i]`` is
+    the paper's ``v^{(i+1)}``.
+
+    Attributes
+    ----------
+    order:
+        Node names in sequence order.
+    adj:
+        ``adj[i]`` — positions of the undirected neighbors of vertex ``i``.
+    dep:
+        ``dep[i]`` — the dependent set ``D(i)`` as a sorted tuple of
+        positions (all ``> i``), maintained incrementally per Fig. 3.
+    """
+
+    graph: CompGraph
+    order: tuple[str, ...]
+    pos: dict[str, int]
+    adj: tuple[tuple[int, ...], ...]
+    dep: tuple[tuple[int, ...], ...]
+
+    @classmethod
+    def build(cls, graph: CompGraph, order: Sequence[str]) -> "SequencedGraph":
+        order = tuple(order)
+        if sorted(order) != sorted(graph.node_names):
+            raise GraphError("ordering is not a permutation of the graph's nodes")
+        pos = {n: i for i, n in enumerate(order)}
+        adj = tuple(
+            tuple(sorted(pos[m] for m in graph.neighbors(n))) for n in order
+        )
+        # Incremental dependent-set maintenance (Fig. 3 lines 1, 7-9).
+        dsets: list[set[int]] = [set(a) for a in adj]
+        dep: list[tuple[int, ...]] = [()] * len(order)
+        for i in range(len(order)):
+            cur = dsets[i]
+            dep[i] = tuple(sorted(j for j in cur if j > i))
+            for v in cur:
+                if v <= i:
+                    continue
+                merged = dsets[v] | cur
+                merged.discard(i)
+                merged.discard(v)
+                dsets[v] = merged
+        return cls(graph=graph, order=order, pos=pos, adj=adj, dep=tuple(dep))
+
+    def __len__(self) -> int:
+        return len(self.order)
+
+    @property
+    def max_dependent_size(self) -> int:
+        """M = max_i |D(i)| (drives the DP's exponential factor)."""
+        return max((len(d) for d in self.dep), default=0)
+
+    def name(self, i: int) -> str:
+        return self.order[i]
+
+    def later_neighbors(self, i: int) -> tuple[int, ...]:
+        """N(v_i) ∩ V_>i — the neighbors whose transfer cost H(i, ·) owns."""
+        return tuple(j for j in self.adj[i] if j > i)
+
+    def connected_set(self, i: int) -> list[int]:
+        """X(i): vertices in V_<=i reachable from i through V_<=i (incl. i)."""
+        seen = {i}
+        stack = [i]
+        while stack:
+            u = stack.pop()
+            for w in self.adj[u]:
+                if w <= i and w not in seen:
+                    seen.add(w)
+                    stack.append(w)
+        return sorted(seen)
+
+    def connected_subsets(self, i: int) -> list[list[int]]:
+        """S(i): connected components of the subgraph induced by X(i) - {i}.
+
+        Each component is returned as a sorted position list; its maximum
+        element is the ``j`` whose DP table the recurrence consults.
+        """
+        members = [u for u in self.connected_set(i) if u != i]
+        member_set = set(members)
+        comps: list[list[int]] = []
+        seen: set[int] = set()
+        for start in members:
+            if start in seen:
+                continue
+            comp = {start}
+            stack = [start]
+            while stack:
+                u = stack.pop()
+                for w in self.adj[u]:
+                    if w in member_set and w not in comp:
+                        comp.add(w)
+                        stack.append(w)
+            seen |= comp
+            comps.append(sorted(comp))
+        return comps
+
+    def roots(self) -> list[int]:
+        """Max-position vertex of each weakly connected component.
+
+        For a weakly connected graph this is ``[len(self) - 1]``; the DP
+        sums the root tables so forests also work.
+        """
+        comp_of: dict[int, int] = {}
+        roots: list[int] = []
+        for i in range(len(self.order) - 1, -1, -1):
+            if i in comp_of:
+                continue
+            stack = [i]
+            comp_of[i] = i
+            while stack:
+                u = stack.pop()
+                for w in self.adj[u]:
+                    if w not in comp_of:
+                        comp_of[w] = i
+                        stack.append(w)
+            roots.append(i)
+        return sorted(roots)
+
+
+# ---------------------------------------------------------------------------
+# Definitional reference implementations (used by property tests)
+# ---------------------------------------------------------------------------
+
+def connected_set_reference(graph: CompGraph, order: Sequence[str], i: int) -> set[str]:
+    """X(i) straight from the Section III-B definition."""
+    order = tuple(order)
+    allowed = set(order[: i + 1])
+    start = order[i]
+    seen = {start}
+    stack = [start]
+    while stack:
+        u = stack.pop()
+        for w in graph.neighbors(u):
+            if w in allowed and w not in seen:
+                seen.add(w)
+                stack.append(w)
+    return seen
+
+
+def dependent_set_reference(graph: CompGraph, order: Sequence[str], i: int) -> set[str]:
+    """D(i) = N(X(i)) ∩ V_>i straight from the definition."""
+    order = tuple(order)
+    x = connected_set_reference(graph, order, i)
+    later = set(order[i + 1:])
+    nbrs: set[str] = set()
+    for u in x:
+        nbrs.update(graph.neighbors(u))
+    return nbrs & later
+
+
+def connected_subsets_reference(graph: CompGraph, order: Sequence[str],
+                                i: int) -> list[set[str]]:
+    """S(i): components of the induced subgraph on X(i) - {v_i}."""
+    order = tuple(order)
+    members = connected_set_reference(graph, order, i) - {order[i]}
+    comps: list[set[str]] = []
+    seen: set[str] = set()
+    for start in sorted(members, key=order.index):
+        if start in seen:
+            continue
+        comp = {start}
+        stack = [start]
+        while stack:
+            u = stack.pop()
+            for w in graph.neighbors(u):
+                if w in members and w not in comp:
+                    comp.add(w)
+                    stack.append(w)
+        seen |= comp
+        comps.append(comp)
+    return comps
+
+
+OrderingFn = Callable[[CompGraph], tuple[str, ...]]

@@ -1,0 +1,164 @@
+"""Parallelization strategies: node -> configuration maps, plus results.
+
+A `Strategy` assigns every node of a computation graph one valid
+parallelization configuration (paper, Section II).  Strategies are the
+common currency of the library: the DP, the baselines, the MCMC
+comparator, and the cluster simulator all produce or consume them.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from .configs import ConfigSpace
+from .costmodel import CostTables
+from .exceptions import StrategyError
+from .graph import CompGraph
+
+__all__ = ["Strategy", "SearchResult"]
+
+
+@dataclass(frozen=True)
+class Strategy:
+    """An immutable node-name -> configuration-tuple mapping."""
+
+    assignment: Mapping[str, tuple[int, ...]]
+
+    def __post_init__(self) -> None:
+        frozen = {n: tuple(int(x) for x in c) for n, c in self.assignment.items()}
+        object.__setattr__(self, "assignment", frozen)
+
+    # -- constructors ---------------------------------------------------------
+
+    @classmethod
+    def from_indices(cls, space: ConfigSpace, indices: Mapping[str, int]) -> "Strategy":
+        return cls({n: space.config(n, k) for n, k in indices.items()})
+
+    @classmethod
+    def serial(cls, graph: CompGraph) -> "Strategy":
+        return cls({op.name: (1,) * op.rank for op in graph})
+
+    # -- accessors -------------------------------------------------------------
+
+    def __getitem__(self, node: str) -> tuple[int, ...]:
+        try:
+            return self.assignment[node]
+        except KeyError:
+            raise StrategyError(f"strategy has no configuration for node {node!r}") from None
+
+    def __contains__(self, node: str) -> bool:
+        return node in self.assignment
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def nodes(self) -> tuple[str, ...]:
+        return tuple(self.assignment)
+
+    def degree(self, node: str) -> int:
+        """Number of devices the node's configuration uses."""
+        d = 1
+        for c in self[node]:
+            d *= c
+        return d
+
+    def max_devices(self) -> int:
+        return max((self.degree(n) for n in self.assignment), default=1)
+
+    # -- validation / evaluation ------------------------------------------------
+
+    def validate(self, graph: CompGraph, p: int) -> None:
+        """Check completeness, arity, and the ``prod <= p`` constraint."""
+        for op in graph:
+            cfg = self[op.name]
+            if len(cfg) != op.rank:
+                raise StrategyError(
+                    f"node {op.name!r}: configuration arity {len(cfg)} != rank {op.rank}")
+            prod = 1
+            for c, dim in zip(cfg, op.dims):
+                if c < 1:
+                    raise StrategyError(f"node {op.name!r}: split {c} < 1")
+                if c > dim.size:
+                    raise StrategyError(
+                        f"node {op.name!r}: split {c} exceeds dim {dim.name!r}={dim.size}")
+                if c > 1 and not dim.splittable:
+                    raise StrategyError(
+                        f"node {op.name!r}: dim {dim.name!r} is not splittable")
+                prod *= c
+            if prod > p:
+                raise StrategyError(
+                    f"node {op.name!r}: configuration {cfg} uses {prod} > p={p} devices")
+        extra = set(self.assignment) - set(graph.node_names)
+        if extra:
+            raise StrategyError(f"strategy names unknown nodes: {sorted(extra)[:5]}")
+
+    def to_indices(self, space: ConfigSpace) -> dict[str, int]:
+        return {n: space.index_of(n, c) for n, c in self.assignment.items()}
+
+    def cost(self, tables: CostTables) -> float:
+        """F(G, φ) under a precomputed cost oracle."""
+        return tables.strategy_cost(self.to_indices(tables.space))
+
+    def breakdown(self, tables: CostTables) -> dict[str, float]:
+        """Per-node layer cost plus per-pair transfer cost (FLOP units)."""
+        idx = self.to_indices(tables.space)
+        out: dict[str, float] = {}
+        for n, k in idx.items():
+            out[n] = float(tables.lc[n][k])
+        for (u, v), mat in tables.pair_tx.items():
+            out[f"{u}<->{v}"] = float(mat[idx[u], idx[v]])
+        return out
+
+    # -- presentation -------------------------------------------------------------
+
+    def format_table(self, graph: CompGraph, *, only_parallel: bool = False) -> str:
+        """Render in the layout of the paper's Table II."""
+        rows = [("Layer", "Dimensions", "Configuration")]
+        for op in graph:
+            cfg = self[op.name]
+            if only_parallel and all(c == 1 for c in cfg):
+                continue
+            rows.append((op.name, "".join(op.dim_names), str(cfg)))
+        widths = [max(len(r[i]) for r in rows) for i in range(3)]
+        lines = ["  ".join(c.ljust(w) for c, w in zip(r, widths)).rstrip() for r in rows]
+        lines.insert(1, "-" * (sum(widths) + 4))
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps({n: list(c) for n, c in sorted(self.assignment.items())},
+                          indent=2)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Strategy":
+        data = json.loads(text)
+        return cls({n: tuple(c) for n, c in data.items()})
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one strategy search.
+
+    Attributes
+    ----------
+    strategy:
+        The best strategy found.
+    cost:
+        Its analytic cost F(G, φ) in FLOP units.
+    elapsed:
+        Wall-clock search seconds.
+    stats:
+        Searcher-specific counters (DP cells evaluated, MCMC iterations,
+        table bytes, ...).
+    """
+
+    strategy: Strategy
+    cost: float
+    elapsed: float
+    method: str
+    stats: dict[str, float] = field(default_factory=dict)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SearchResult {self.method}: cost={self.cost:.4g} "
+                f"elapsed={self.elapsed:.3f}s>")

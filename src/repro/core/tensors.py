@@ -1,0 +1,151 @@
+"""Tensor specifications: how operator iteration spaces map onto tensors.
+
+A `TensorSpec` describes one input or output tensor of an operator as a
+tuple of *axis names*.  Each axis names either a dimension of the owning
+operator's iteration space or an *alias dim* the operator declares (see
+`repro.ops.base.OpSpec.aliases`): an alias has its own extent but is split
+by the configuration entry of the primary dim it maps to (e.g. a
+convolution's input spatial extent follows the output-spatial split), or is
+never split when it maps to no primary dim (e.g. the model-width axis of a
+fused attention operator).
+
+Iteration dims that do **not** appear among a tensor's axes matter too:
+
+* for an *input* tensor, splitting such a dim replicates the tensor across
+  those splits (e.g. splitting GEMM's out-channel dim replicates the input
+  activations);
+* for a *parameter* tensor, those splits determine the gradient all-reduce
+  group size (e.g. the batch dim for a weight matrix — the data-parallelism
+  synchronization cost);
+* for the *output* tensor, splits of contracted (reduction) dims leave each
+  device with a partial sum that must be reduced.
+
+``scale`` lets a single spec stand for a small family of same-shaped
+parameter tensors (the four LSTM gate matrices, the QKV+output projections
+of attention) without enumerating them; it multiplies volumes, never
+shapes, and is only allowed on tensors that never flow along graph edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from .dims import shard_extent
+from .exceptions import GraphError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..ops.base import OpSpec
+
+__all__ = ["TensorSpec", "DTYPE_BYTES"]
+
+#: Bytes per element assumed throughout (fp32 training, as in the paper's
+#: Mesh-TensorFlow evaluation).
+DTYPE_BYTES = 4
+
+
+@dataclass(frozen=True, slots=True)
+class TensorSpec:
+    """One tensor port of an operator.
+
+    Attributes
+    ----------
+    axes:
+        Ordered axis names; each names an iteration dim or a declared alias.
+    is_param:
+        True for trainable parameters (weights, biases, embedding tables).
+        Parameter tensors incur gradient all-reduce in the layer cost.
+    scale:
+        Volume multiplier for specs standing for several same-shaped
+        tensors (default 1.0).
+    sparse_grad_elements:
+        For parameter tensors whose gradients are sparse (embedding
+        tables: only looked-up rows receive gradients), the total element
+        count touched per step.  Gradient-synchronization volumes are
+        capped at the touched share of each device's shard; the update
+        phase stays dense (momentum/Adam state decays every slot).
+    """
+
+    axes: tuple[str, ...]
+    is_param: bool = False
+    scale: float = 1.0
+    sparse_grad_elements: float | None = None
+
+    def shape(self, op: "OpSpec") -> tuple[int, ...]:
+        """Concrete (unscaled) shape of this tensor under its operator."""
+        return tuple(op.dim_size(a) for a in self.axes)
+
+    def volume(self, op: "OpSpec") -> float:
+        """Total element count (scaled)."""
+        base = float(np.prod([op.dim_size(a) for a in self.axes], dtype=np.float64)) \
+            if self.axes else 1.0
+        return base * self.scale
+
+    def nbytes(self, op: "OpSpec") -> float:
+        return self.volume(op) * DTYPE_BYTES
+
+    def splits(self, op: "OpSpec", configs: np.ndarray) -> np.ndarray:
+        """Split factor per tensor axis induced by operator configurations.
+
+        Alias axes inherit the split of their primary dim; fixed alias axes
+        (no primary) are never split.  Returns ``[..., len(axes)]``.
+        """
+        configs = np.asarray(configs)
+        cols = []
+        for a in self.axes:
+            primary = op.resolve_dim(a)
+            if primary is None:
+                cols.append(np.ones(configs.shape[:-1], dtype=configs.dtype))
+            else:
+                cols.append(configs[..., op.dim_index(primary)])
+        if not cols:
+            return np.ones(configs.shape[:-1] + (0,), dtype=configs.dtype)
+        return np.stack(cols, axis=-1)
+
+    def shard_volume(self, op: "OpSpec", configs: np.ndarray) -> np.ndarray:
+        """Largest per-device shard volume (scaled) under each configuration."""
+        configs = np.asarray(configs)
+        if not self.axes:
+            return np.full(configs.shape[:-1], self.scale, dtype=np.float64)
+        shape = np.asarray(self.shape(op), dtype=np.int64)
+        ext = shard_extent(shape, self.splits(op, configs))
+        return np.prod(ext, axis=-1, dtype=np.float64) * self.scale
+
+    def grad_sync_volume(self, op: "OpSpec", configs: np.ndarray) -> np.ndarray:
+        """Per-device gradient volume that replication groups exchange.
+
+        The full shard for dense gradients; capped at the touched share of
+        the shard (``sparse_grad_elements · shard/total``) for sparse ones.
+        """
+        shard = self.shard_volume(op, configs)
+        if self.sparse_grad_elements is None:
+            return shard
+        total = max(self.volume(op), 1.0)
+        return np.minimum(shard, self.sparse_grad_elements * shard / total)
+
+    def replication(self, op: "OpSpec", configs: np.ndarray) -> np.ndarray:
+        """Number of devices holding identical shards of this tensor.
+
+        Product of configuration entries over primary iteration dims that
+        no axis of this tensor resolves to.  For a parameter tensor this is
+        the gradient all-reduce group size.
+        """
+        configs = np.asarray(configs)
+        covered = {op.resolve_dim(a) for a in self.axes} - {None}
+        other = [i for i, d in enumerate(op.dims) if d.name not in covered]
+        if not other:
+            return np.ones(configs.shape[:-1], dtype=np.int64)
+        return np.prod(configs[..., other], axis=-1, dtype=np.int64)
+
+    def validate(self, op: "OpSpec") -> None:
+        seen: set[str] = set()
+        for a in self.axes:
+            if a in seen:
+                raise GraphError(f"tensor of {op.name!r} repeats axis {a!r}")
+            seen.add(a)
+            if not op.has_dim(a):
+                raise GraphError(f"tensor of {op.name!r} names unknown axis {a!r}")
+        if self.scale <= 0:
+            raise GraphError(f"tensor of {op.name!r} has non-positive scale {self.scale}")

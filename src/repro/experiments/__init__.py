@@ -1,0 +1,36 @@
+"""Experiment harness: one driver per paper artifact.
+
+* `table1` — strategy-search time, BF vs FlexFlow-MCMC vs PaSE.
+* `table2` — best strategies at p=32 (per-layer configurations).
+* `figure6` — simulated training-throughput speedups over data
+  parallelism on the 1080Ti and 2080Ti cluster profiles.
+* `graphstats` quantities (Fig. 5 / Section III-C) live in
+  `repro.analysis`.
+* `ablations` — ordering, configuration-granularity, and cost-model-term
+  ablations for the design decisions DESIGN.md calls out.
+
+Each module exposes ``run_*`` functions returning plain data plus a
+``main()`` that prints the paper-style table; ``benchmarks/`` wraps them
+for pytest-benchmark.
+"""
+
+from .common import BenchSetup, build_setup, search_with
+from .table1 import Table1Cell, run_table1
+from .table2 import run_table2
+from .figure6 import run_figure6
+from .ablations import run_config_mode_ablation, run_costterm_ablation, run_ordering_ablation
+from .mcmc_sensitivity import run_mcmc_sensitivity
+
+__all__ = [
+    "BenchSetup",
+    "Table1Cell",
+    "build_setup",
+    "run_config_mode_ablation",
+    "run_costterm_ablation",
+    "run_figure6",
+    "run_mcmc_sensitivity",
+    "run_ordering_ablation",
+    "run_table1",
+    "run_table2",
+    "search_with",
+]

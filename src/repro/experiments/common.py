@@ -1,0 +1,101 @@
+"""Shared experiment machinery: setups, method dispatch, caching."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..baselines import (
+    MCMCOptions,
+    auto_expert_strategy,
+    data_parallel_strategy,
+    mcmc_search,
+    random_search,
+)
+from ..core.configs import ConfigSpace
+from ..core.costmodel import CostModel, CostTables
+from ..core.dp import find_best_strategy
+from ..core.graph import CompGraph
+from ..core.machine import GTX1080TI, MachineSpec
+from ..core.naive import naive_bf_strategy
+from ..core.strategy import SearchResult, Strategy
+from ..models import BENCHMARKS
+
+__all__ = ["BenchSetup", "build_setup", "search_with", "METHODS"]
+
+#: Search/baseline method names accepted by :func:`search_with`.
+METHODS = ("ours", "bf", "mcmc", "data_parallel", "expert", "random")
+
+
+@dataclass
+class BenchSetup:
+    """One (benchmark, p, machine) problem instance with shared oracle."""
+
+    name: str
+    graph: CompGraph
+    p: int
+    machine: MachineSpec
+    space: ConfigSpace
+    tables: CostTables
+
+
+@lru_cache(maxsize=32)
+def _cached_setup(name: str, p: int, machine_name: str, mode: str) -> BenchSetup:
+    machine = {"1080Ti": GTX1080TI}.get(machine_name)
+    if machine is None:
+        from ..core.machine import RTX2080TI
+        machine = RTX2080TI if machine_name == "2080Ti" else GTX1080TI
+    graph = BENCHMARKS[name]()
+    space = ConfigSpace.build(graph, p, mode=mode)
+    tables = CostModel(machine).build_tables(graph, space)
+    return BenchSetup(name=name, graph=graph, p=p, machine=machine,
+                      space=space, tables=tables)
+
+
+def build_setup(name: str, p: int, *, machine: MachineSpec = GTX1080TI,
+                mode: str = "pow2") -> BenchSetup:
+    """Build (and memoize) graph + config space + cost tables."""
+    return _cached_setup(name, p, machine.name, mode)
+
+
+def search_with(setup: BenchSetup, method: str, *, seed: int = 0,
+                mcmc_options: MCMCOptions | None = None,
+                bf_time_budget: float | None = 60.0) -> SearchResult:
+    """Run one search/baseline method on a setup.
+
+    Baselines that are closed-form (data parallelism, expert) are wrapped
+    in a `SearchResult` with near-zero elapsed time.  The breadth-first
+    DP gets a time budget on top of its byte budget (both failure modes
+    surface as `SearchResourceError`, Table I's OOM): on the branchy
+    graphs it can grind through hours of chunked table evaluations before
+    finally exceeding memory.
+    """
+    import time
+
+    if method == "ours":
+        return find_best_strategy(setup.graph, setup.space, setup.tables)
+    if method == "bf":
+        return naive_bf_strategy(setup.graph, setup.space, setup.tables,
+                                 time_budget=bf_time_budget)
+    if method == "mcmc":
+        init = auto_expert_strategy(setup.graph, setup.p)
+        return mcmc_search(setup.graph, setup.space, setup.tables, init=init,
+                           rng=np.random.default_rng(seed),
+                           options=mcmc_options or MCMCOptions())
+    if method == "random":
+        return random_search(setup.graph, setup.space, setup.tables,
+                             rng=np.random.default_rng(seed))
+    if method in ("data_parallel", "expert"):
+        t0 = time.perf_counter()
+        strat: Strategy = (data_parallel_strategy(setup.graph, setup.p)
+                           if method == "data_parallel"
+                           else auto_expert_strategy(setup.graph, setup.p))
+        return SearchResult(
+            strategy=strat,
+            cost=strat.cost(setup.tables),
+            elapsed=time.perf_counter() - t0,
+            method=method,
+        )
+    raise ValueError(f"unknown method {method!r}; expected one of {METHODS}")

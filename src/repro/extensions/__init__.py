@@ -1,0 +1,19 @@
+"""Extensions beyond the paper's core: the future-work and related-work
+directions Sections V-VI sketch, made concrete.
+
+* `pipeline` — PipeDream-style inter-batch pipeline stages composed with
+  PaSE per stage (the complementary combination Section VI proposes);
+* `export` — GShard/Mesh-TensorFlow-style sharding annotations from a
+  found strategy (the hand-off Section II mentions).
+"""
+
+from .export import sharding_spec, to_gshard_json
+from .pipeline import PipelineResult, partition_stages, pipeline_pase
+
+__all__ = [
+    "PipelineResult",
+    "partition_stages",
+    "pipeline_pase",
+    "sharding_spec",
+    "to_gshard_json",
+]

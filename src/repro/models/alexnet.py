@@ -1,0 +1,83 @@
+"""AlexNet (Krizhevsky et al., 2012) — the paper's path-graph benchmark.
+
+Five convolution layers (with ReLU, two LRN, three max-pool) followed by
+three fully-connected layers and a softmax, on 227x227 ImageNet inputs.
+Each layer connects only to the next, so breadth-first and GENERATESEQ
+orderings perform identically (Table I).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import (
+    Activation,
+    Conv2D,
+    Dropout,
+    FullyConnected,
+    LocalResponseNorm,
+    Pool2D,
+    SoftmaxCrossEntropy,
+)
+from .builder import GraphBuilder
+
+__all__ = ["alexnet"]
+
+
+def alexnet(*, batch: int = 128, classes: int = 1000, image: int = 227,
+            with_aux: bool = True) -> CompGraph:
+    """Build the AlexNet computation graph.
+
+    ``with_aux=False`` drops the ReLU/LRN/pool/dropout nodes, leaving only
+    the five conv + three FC + softmax trainable spine (a smaller graph for
+    unit tests; the spine alone already reproduces the Table II structure).
+    """
+    b = GraphBuilder()
+
+    def act(name: str, channels: int, hw: int) -> None:
+        if with_aux:
+            b.chain(Activation(name, dims=[("b", batch), ("c", channels),
+                                           ("h", hw), ("w", hw)]))
+
+    # conv1: 96 kernels 11x11 stride 4 -> 55x55
+    b.chain(Conv2D("conv1", batch=batch, in_channels=3, out_channels=96,
+                   in_hw=(image, image), kernel=11, stride=4, padding="valid"))
+    act("relu1", 96, 55)
+    if with_aux:
+        b.chain(LocalResponseNorm("lrn1", batch=batch, channels=96, hw=(55, 55)))
+        b.chain(Pool2D("pool1", batch=batch, channels=96, in_hw=(55, 55),
+                       kernel=3, stride=2))
+    # conv2: 256 kernels 5x5 pad 2 -> 27x27
+    hw2 = 27 if with_aux else 55
+    b.chain(Conv2D("conv2", batch=batch, in_channels=96, out_channels=256,
+                   in_hw=(hw2, hw2), kernel=5, stride=1, padding="same"))
+    act("relu2", 256, hw2)
+    if with_aux:
+        b.chain(LocalResponseNorm("lrn2", batch=batch, channels=256, hw=(27, 27)))
+        b.chain(Pool2D("pool2", batch=batch, channels=256, in_hw=(27, 27),
+                       kernel=3, stride=2))
+    # conv3-5 at 13x13
+    hw3 = 13 if with_aux else hw2
+    b.chain(Conv2D("conv3", batch=batch, in_channels=256, out_channels=384,
+                   in_hw=(hw3, hw3), kernel=3, padding="same"))
+    act("relu3", 384, hw3)
+    b.chain(Conv2D("conv4", batch=batch, in_channels=384, out_channels=384,
+                   in_hw=(hw3, hw3), kernel=3, padding="same"))
+    act("relu4", 384, hw3)
+    b.chain(Conv2D("conv5", batch=batch, in_channels=384, out_channels=256,
+                   in_hw=(hw3, hw3), kernel=3, padding="same"))
+    act("relu5", 256, hw3)
+    if with_aux:
+        b.chain(Pool2D("pool5", batch=batch, channels=256, in_hw=(13, 13),
+                       kernel=3, stride=2))
+    hw_fc = 6 if with_aux else hw3
+    flat = 256 * hw_fc * hw_fc
+    b.chain(FullyConnected("fc1", batch=batch, in_dim=flat, out_dim=4096,
+                           in_factors=(256, hw_fc, hw_fc)))
+    if with_aux:
+        b.chain(Dropout("drop1", dims=[("b", batch), ("n", 4096)]))
+    b.chain(FullyConnected("fc2", batch=batch, in_dim=4096, out_dim=4096))
+    if with_aux:
+        b.chain(Dropout("drop2", dims=[("b", batch), ("n", 4096)]))
+    b.chain(FullyConnected("fc3", batch=batch, in_dim=4096, out_dim=classes))
+    b.chain(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes))
+    return b.build()

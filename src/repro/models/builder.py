@@ -1,0 +1,54 @@
+"""Fluent construction of computation graphs."""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph, Edge
+from ..ops.base import OpSpec
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Incrementally build a `CompGraph`, tracking the most recent node.
+
+    ``chain`` adds a node and wires its ``in`` port from the previous
+    node's ``out`` port; ``add`` gives full control over wiring.
+    """
+
+    def __init__(self) -> None:
+        self.graph = CompGraph()
+        self._last: str | None = None
+
+    @property
+    def last(self) -> str:
+        if self._last is None:
+            raise ValueError("builder has no nodes yet")
+        return self._last
+
+    def add(self, op: OpSpec, *, inputs: dict[str, str | tuple[str, str]] | None = None,
+            track: bool = True) -> str:
+        """Add ``op``; ``inputs`` maps its input ports to producers.
+
+        A producer is a node name (its ``out`` port) or ``(name, port)``.
+        """
+        self.graph.add_node(op)
+        for port, src in (inputs or {}).items():
+            if isinstance(src, tuple):
+                src_name, src_port = src
+            else:
+                src_name, src_port = src, "out"
+            self.graph.add_edge(Edge(src_name, src_port, op.name, port))
+        if track:
+            self._last = op.name
+        return op.name
+
+    def chain(self, op: OpSpec, *, port: str = "in", src: str | None = None) -> str:
+        """Add ``op`` fed from ``src`` (default: the last tracked node)."""
+        inputs = {}
+        if self._last is not None or src is not None:
+            inputs[port] = src if src is not None else self.last
+        return self.add(op, inputs=inputs)
+
+    def build(self) -> CompGraph:
+        self.graph.validate()
+        return self.graph

@@ -1,0 +1,59 @@
+"""DenseNet-style dense block — the Section V stress case.
+
+Every layer concatenates the outputs of *all* previous layers, so the
+graph is uniformly dense: no vertex ordering can keep dependent sets
+small, and the paper notes this as the known limitation of the approach.
+The builder is used by the ablation benchmarks to demonstrate that
+behaviour (dependent-set sizes grow linearly with block depth).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import Concat, Conv2D, FullyConnected, Pool2D, SoftmaxCrossEntropy
+from .builder import GraphBuilder
+
+__all__ = ["densenet"]
+
+
+def densenet(*, batch: int = 32, classes: int = 100, image: int = 32,
+             block_layers: int = 6, growth: int = 32,
+             init_channels: int = 64) -> CompGraph:
+    """Build a single-dense-block DenseNet classifier.
+
+    ``block_layers`` controls graph density; the default 6 already defeats
+    every ordering (max dependent set grows with depth).
+    """
+    b = GraphBuilder()
+    b.chain(Conv2D("stem", batch=batch, in_channels=3, out_channels=init_channels,
+                   in_hw=(image, image), kernel=3, padding="same"))
+    hw = image
+    feeds: list[tuple[str, int]] = [("stem", init_channels)]
+    for i in range(block_layers):
+        total = sum(ch for _, ch in feeds)
+        if len(feeds) > 1:
+            cat = f"cat{i}"
+            b.add(Concat(cat, parts=[ch for _, ch in feeds], batch=batch,
+                         hw=(hw, hw)),
+                  inputs={f"in{k}": name for k, (name, _) in enumerate(feeds)})
+            src = cat
+        else:
+            src = feeds[0][0]
+        conv = f"conv{i}"
+        b.add(Conv2D(conv, batch=batch, in_channels=total, out_channels=growth,
+                     in_hw=(hw, hw), kernel=3, padding="same"),
+              inputs={"in": src})
+        feeds.append((conv, growth))
+    total = sum(ch for _, ch in feeds)
+    b.add(Concat("cat_final", parts=[ch for _, ch in feeds], batch=batch,
+                 hw=(hw, hw)),
+          inputs={f"in{k}": name for k, (name, _) in enumerate(feeds)})
+    b.add(Pool2D("gap", batch=batch, channels=total, in_hw=(hw, hw),
+                 kernel=hw, stride=1, kind="avgpool"),
+          inputs={"in": "cat_final"})
+    b.add(FullyConnected("fc", batch=batch, in_dim=total, out_dim=classes,
+                         in_factors=(total, 1, 1)),
+          inputs={"in": "gap"})
+    b.add(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes),
+          inputs={"in": "fc"})
+    return b.build()

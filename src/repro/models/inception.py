@@ -1,0 +1,176 @@
+"""InceptionV3 (Szegedy et al., 2015) — the paper's branchy CNN benchmark.
+
+The inception modules split the activation into parallel convolution
+towers and concatenate the results; the concat nodes (and the module
+inputs feeding every tower) are the few high-degree vertices that make
+breadth-first DP ordering explode while GENERATESEQ keeps dependent sets
+at <= 3 (paper Fig. 5 and Section III-C).
+
+The channel/spatial plan follows the canonical torchvision InceptionV3 on
+299x299 inputs: stem -> 3xA(35x35) -> B -> 4xC(17x17) -> D -> 2xE(8x8) ->
+pool -> FC -> softmax.  ``with_bn`` adds a BatchNorm + ReLU pair after
+every convolution (the full 200+-node graph of the paper); the default
+keeps the conv spine only, which preserves the degree structure with a
+faster search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.graph import CompGraph
+from ..ops import Activation, BatchNorm, Concat, Conv2D, FullyConnected, Pool2D, \
+    SoftmaxCrossEntropy
+from .builder import GraphBuilder
+
+__all__ = ["inception_v3"]
+
+
+@dataclass
+class _T:
+    """A tensor handle while building: producing node, channels, spatial."""
+
+    node: str
+    ch: int
+    hw: int
+
+
+class _Net:
+    def __init__(self, batch: int, with_bn: bool) -> None:
+        self.b = GraphBuilder()
+        self.batch = batch
+        self.with_bn = with_bn
+        self.n = 0
+
+    def _name(self, tag: str) -> str:
+        self.n += 1
+        return f"{tag}_{self.n}"
+
+    def conv(self, x: _T, out_ch: int, kernel, *, stride=1, padding="same") -> _T:
+        name = self._name("conv")
+        op = Conv2D(name, batch=self.batch, in_channels=x.ch, out_channels=out_ch,
+                    in_hw=(x.hw, x.hw), kernel=kernel, stride=stride, padding=padding)
+        self.b.add(op, inputs={"in": x.node})
+        hw = op.dim_size("h")
+        out = _T(name, out_ch, hw)
+        if self.with_bn:
+            bn = self._name("bn")
+            self.b.add(BatchNorm(bn, batch=self.batch, channels=out_ch, hw=(hw, hw)),
+                       inputs={"in": name})
+            relu = self._name("relu")
+            self.b.add(Activation(relu, dims=[("b", self.batch), ("c", out_ch),
+                                              ("h", hw), ("w", hw)]),
+                       inputs={"in": bn})
+            out = _T(relu, out_ch, hw)
+        return out
+
+    def pool(self, x: _T, kernel: int, stride: int, *, padding="valid",
+             kind="maxpool") -> _T:
+        name = self._name(kind)
+        op = Pool2D(name, batch=self.batch, channels=x.ch, in_hw=(x.hw, x.hw),
+                    kernel=kernel, stride=stride, padding=padding, kind=kind)
+        self.b.add(op, inputs={"in": x.node})
+        return _T(name, x.ch, op.dim_size("h"))
+
+    def concat(self, parts: list[_T]) -> _T:
+        name = self._name("concat")
+        hw = parts[0].hw
+        assert all(p.hw == hw for p in parts)
+        op = Concat(name, parts=[p.ch for p in parts], batch=self.batch, hw=(hw, hw))
+        self.b.add(op, inputs={f"in{i}": p.node for i, p in enumerate(parts)})
+        return _T(name, sum(p.ch for p in parts), hw)
+
+
+def _module_a(net: _Net, x: _T, pool_ch: int) -> _T:
+    b1 = net.conv(x, 64, 1)
+    b2 = net.conv(net.conv(x, 48, 1), 64, 5)
+    b3 = net.conv(net.conv(net.conv(x, 64, 1), 96, 3), 96, 3)
+    b4 = net.conv(net.pool(x, 3, 1, padding="same", kind="avgpool"), pool_ch, 1)
+    return net.concat([b1, b2, b3, b4])
+
+
+def _module_b(net: _Net, x: _T) -> _T:
+    b1 = net.conv(x, 384, 3, stride=2, padding="valid")
+    b2 = net.conv(net.conv(net.conv(x, 64, 1), 96, 3), 96, 3,
+                  stride=2, padding="valid")
+    b3 = net.pool(x, 3, 2)
+    return net.concat([b1, b2, b3])
+
+
+def _module_c(net: _Net, x: _T, c7: int) -> _T:
+    b1 = net.conv(x, 192, 1)
+    b2 = net.conv(net.conv(net.conv(x, c7, 1), c7, (1, 7)), 192, (7, 1))
+    t = net.conv(x, c7, 1)
+    t = net.conv(t, c7, (7, 1))
+    t = net.conv(t, c7, (1, 7))
+    t = net.conv(t, c7, (7, 1))
+    b3 = net.conv(t, 192, (1, 7))
+    b4 = net.conv(net.pool(x, 3, 1, padding="same", kind="avgpool"), 192, 1)
+    return net.concat([b1, b2, b3, b4])
+
+
+def _module_d(net: _Net, x: _T) -> _T:
+    b1 = net.conv(net.conv(x, 192, 1), 320, 3, stride=2, padding="valid")
+    t = net.conv(x, 192, 1)
+    t = net.conv(t, 192, (1, 7))
+    t = net.conv(t, 192, (7, 1))
+    b2 = net.conv(t, 192, 3, stride=2, padding="valid")
+    b3 = net.pool(x, 3, 2)
+    return net.concat([b1, b2, b3])
+
+
+def _module_e(net: _Net, x: _T) -> _T:
+    b1 = net.conv(x, 320, 1)
+    t2 = net.conv(x, 384, 1)
+    b2a = net.conv(t2, 384, (1, 3))
+    b2b = net.conv(t2, 384, (3, 1))
+    t3 = net.conv(net.conv(x, 448, 1), 384, 3)
+    b3a = net.conv(t3, 384, (1, 3))
+    b3b = net.conv(t3, 384, (3, 1))
+    b4 = net.conv(net.pool(x, 3, 1, padding="same", kind="avgpool"), 192, 1)
+    return net.concat([b1, b2a, b2b, b3a, b3b, b4])
+
+
+def inception_v3(*, batch: int = 128, classes: int = 1000, image: int = 299,
+                 with_bn: bool = False) -> CompGraph:
+    """Build the InceptionV3 computation graph."""
+    net = _Net(batch, with_bn)
+    # Stem.
+    x = _T("__input__", 3, image)
+    first = Conv2D("stem_conv1", batch=batch, in_channels=3, out_channels=32,
+                   in_hw=(image, image), kernel=3, stride=2, padding="valid")
+    net.b.add(first)
+    x = _T("stem_conv1", 32, first.dim_size("h"))
+    if with_bn:
+        hw = x.hw
+        net.b.add(BatchNorm("stem_bn1", batch=batch, channels=32, hw=(hw, hw)),
+                  inputs={"in": x.node})
+        net.b.add(Activation("stem_relu1", dims=[("b", batch), ("c", 32),
+                                                 ("h", hw), ("w", hw)]),
+                  inputs={"in": "stem_bn1"})
+        x = _T("stem_relu1", 32, hw)
+    x = net.conv(x, 32, 3, padding="valid")
+    x = net.conv(x, 64, 3, padding="same")
+    x = net.pool(x, 3, 2)
+    x = net.conv(x, 80, 1)
+    x = net.conv(x, 192, 3, padding="valid")
+    x = net.pool(x, 3, 2)
+
+    # Inception modules.
+    for pool_ch in (32, 64, 64):
+        x = _module_a(net, x, pool_ch)
+    x = _module_b(net, x)
+    for c7 in (128, 160, 160, 192):
+        x = _module_c(net, x, c7)
+    x = _module_d(net, x)
+    for _ in range(2):
+        x = _module_e(net, x)
+
+    # Classifier head.
+    x = net.pool(x, x.hw, 1, kind="avgpool")
+    net.b.add(FullyConnected("fc", batch=batch, in_dim=x.ch, out_dim=classes,
+                             in_factors=(x.ch, 1, 1)),
+              inputs={"in": x.node})
+    net.b.add(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes),
+              inputs={"in": "fc"})
+    return net.b.build()

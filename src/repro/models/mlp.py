@@ -1,0 +1,28 @@
+"""A configurable multi-layer perceptron (quickstart / test model)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.graph import CompGraph
+from ..ops import FullyConnected, SoftmaxCrossEntropy
+from .builder import GraphBuilder
+
+__all__ = ["mlp"]
+
+
+def mlp(*, batch: int = 64, in_dim: int = 784,
+        hidden: Sequence[int] = (1024, 1024), classes: int = 10) -> CompGraph:
+    """An MLP classifier: FC layers followed by softmax cross-entropy.
+
+    The computation graph is a simple path graph — the easiest case for
+    every searcher, handy for quickstarts and exact-ground-truth tests.
+    """
+    b = GraphBuilder()
+    prev = in_dim
+    for i, width in enumerate(hidden):
+        b.chain(FullyConnected(f"fc{i + 1}", batch=batch, in_dim=prev, out_dim=width))
+        prev = width
+    b.chain(FullyConnected("fc_out", batch=batch, in_dim=prev, out_dim=classes))
+    b.chain(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes))
+    return b.build()

@@ -1,0 +1,105 @@
+"""ResNet (He et al., 2016) — residual CNN, an extension benchmark.
+
+Not part of the paper's evaluation suite, but a common target for OWT and
+a structurally interesting case for the ordering machinery: residual adds
+give every block input degree 3, between AlexNet's path graph and
+InceptionV3's concat fan-outs.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import (
+    Activation,
+    BatchNorm,
+    Conv2D,
+    ElementwiseBinary,
+    FullyConnected,
+    Pool2D,
+    SoftmaxCrossEntropy,
+)
+from .builder import GraphBuilder
+
+__all__ = ["resnet50", "resnet_block_counts"]
+
+#: Bottleneck-block counts per stage for the standard depths.
+resnet_block_counts = {50: (3, 4, 6, 3), 101: (3, 4, 23, 3)}
+
+
+class _Net:
+    def __init__(self, batch: int, with_bn: bool) -> None:
+        self.b = GraphBuilder()
+        self.batch = batch
+        self.with_bn = with_bn
+        self.n = 0
+
+    def name(self, tag: str) -> str:
+        self.n += 1
+        return f"{tag}{self.n}"
+
+    def conv(self, src: str, in_ch: int, out_ch: int, hw: int, kernel: int,
+             stride: int = 1) -> tuple[str, int]:
+        cname = self.name("conv")
+        op = Conv2D(cname, batch=self.batch, in_channels=in_ch,
+                    out_channels=out_ch, in_hw=(hw, hw), kernel=kernel,
+                    stride=stride, padding="same")
+        self.b.add(op, inputs={"in": src})
+        out_hw = op.dim_size("h")
+        node = cname
+        if self.with_bn:
+            bn = self.name("bn")
+            self.b.add(BatchNorm(bn, batch=self.batch, channels=out_ch,
+                                 hw=(out_hw, out_hw)), inputs={"in": node})
+            node = bn
+        return node, out_hw
+
+
+def resnet50(*, batch: int = 128, classes: int = 1000, image: int = 224,
+             depth: int = 50, with_bn: bool = False) -> CompGraph:
+    """Build a ResNet-50/101 computation graph (bottleneck blocks)."""
+    blocks = resnet_block_counts[depth]
+    net = _Net(batch, with_bn)
+    b = net.b
+
+    stem = Conv2D("stem", batch=batch, in_channels=3, out_channels=64,
+                  in_hw=(image, image), kernel=7, stride=2, padding="same")
+    b.add(stem)
+    hw = stem.dim_size("h")
+    pool = Pool2D("stem_pool", batch=batch, channels=64, in_hw=(hw, hw),
+                  kernel=3, stride=2, padding="same")
+    b.add(pool, inputs={"in": "stem"})
+    hw = pool.dim_size("h")
+
+    x, ch = "stem_pool", 64
+    width = 64
+    for stage, count in enumerate(blocks):
+        out_ch = width * 4
+        for i in range(count):
+            stride = 2 if (stage > 0 and i == 0) else 1
+            # Projection shortcut when shape changes.
+            if ch != out_ch or stride != 1:
+                shortcut, s_hw = net.conv(x, ch, out_ch, hw, 1, stride)
+            else:
+                shortcut, s_hw = x, hw
+            y, _ = net.conv(x, ch, width, hw, 1, stride)
+            y, _ = net.conv(y, width, width, hw // stride if stride > 1 else hw, 3)
+            y, y_hw = net.conv(y, width, out_ch, hw // stride if stride > 1 else hw, 1)
+            add = net.name("res")
+            b.add(ElementwiseBinary(add, dims=[("b", batch), ("c", out_ch),
+                                               ("h", y_hw), ("w", y_hw)]),
+                  inputs={"in0": shortcut, "in1": y})
+            relu = net.name("relu")
+            b.add(Activation(relu, dims=[("b", batch), ("c", out_ch),
+                                         ("h", y_hw), ("w", y_hw)]),
+                  inputs={"in": add})
+            x, ch, hw = relu, out_ch, y_hw
+        width *= 2
+
+    gap = Pool2D("gap", batch=batch, channels=ch, in_hw=(hw, hw),
+                 kernel=hw, stride=1, kind="avgpool")
+    b.add(gap, inputs={"in": x})
+    b.add(FullyConnected("fc", batch=batch, in_dim=ch, out_dim=classes,
+                         in_factors=(ch, 1, 1)), inputs={"in": "gap"})
+    b.add(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes),
+          inputs={"in": "fc"})
+    return b.build()

@@ -1,0 +1,38 @@
+"""RNNLM — a two-layer LSTM language model (Billion-Word benchmark).
+
+As in the paper (Section IV-A), the entire recurrent stack — layers and
+recurrent steps included — is represented as a *single* five-dimensional
+vertex (``l, b, s, d, e``), which both reduces the graph to a path graph
+and exposes intra-layer pipeline parallelism to the configuration space.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import Embedding, FullyConnected, LSTMStack, Softmax
+from .builder import GraphBuilder
+
+__all__ = ["rnnlm"]
+
+
+def rnnlm(*, batch: int = 64, seq: int = 40, vocab: int = 131_072,
+          embed: int = 1024, hidden: int = 2048, layers: int = 2) -> CompGraph:
+    """Build the RNNLM computation graph (embedding -> LSTM -> FC -> softmax).
+
+    Defaults follow the paper's setup: batch 64, a 2-layer LSTM, and
+    FlexFlow's unroll length of 40 as the sequence extent.  The full
+    Billion-Word vocabulary (~800k) would need a 6.5 GB projection matrix
+    — more than an 11 GB GPU can replicate with activations and optimizer
+    state — so the default uses the 128k shortlist size common for this
+    benchmark; pass ``vocab=800_000`` for the unabridged shapes.
+    """
+    b = GraphBuilder()
+    b.chain(Embedding("embedding", batch=batch, vocab=vocab, dim=embed, seq=seq))
+    b.chain(LSTMStack("lstm", layers=layers, batch=batch, seq=seq,
+                      in_dim=embed, hidden=hidden))
+    # Projection back to the vocabulary; dims labelled b s v d as in Table II.
+    b.chain(FullyConnected("projection", batch=batch, seq=seq, in_dim=hidden,
+                           out_dim=vocab, names={"n": "v", "c": "d"}))
+    b.chain(Softmax("softmax", batch=batch, classes=vocab, seq=seq,
+                    class_name="v"))
+    return b.build()

@@ -1,0 +1,99 @@
+"""Transformer (Vaswani et al., 2017) — the paper's NMT benchmark.
+
+Encoder-decoder with fused multi-head attention and feed-forward vertices.
+The encoder's final output feeds the cross-attention of *every* decoder
+layer — the high-degree, long-live-range vertex the paper singles out as
+the reason Transformer orderings cannot shrink dependent sets as well as
+InceptionV3's (Section IV-A).
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import (
+    ElementwiseBinary,
+    Embedding,
+    FullyConnected,
+    LayerNorm,
+    MultiheadAttention,
+    Softmax,
+)
+from .builder import GraphBuilder
+
+__all__ = ["transformer"]
+
+
+def transformer(*, batch: int = 64, seq: int = 64, vocab: int = 32_768,
+                model_dim: int = 1024, heads: int = 16, ff_hidden: int = 4096,
+                layers: int = 6, residuals: bool = True) -> CompGraph:
+    """Build the Transformer NMT computation graph.
+
+    Defaults are the "big" WMT EN-DE configuration (d_model 1024, 16
+    heads, 4096-wide feed-forward, 6+6 layers) that the Mesh-TensorFlow
+    hybrid the paper compares against targets.  ``layers`` counts encoder
+    layers and decoder layers each.  ``residuals=False`` drops the
+    elementwise residual adds, shrinking the graph for tests while keeping
+    the cross-attention fan-out structure.
+    """
+    from ..ops.dense import FeedForward
+
+    q_ch = model_dim // heads
+    if q_ch * heads != model_dim:
+        raise ValueError("model_dim must be divisible by heads")
+    b = GraphBuilder()
+    dims_bsd = [("b", batch), ("s", seq), ("d", model_dim)]
+
+    def sublayer(tag: str, op_name: str, x: str, extra_inputs=None) -> str:
+        """Wire sublayer ``op_name`` (already added) with residual + LN."""
+        if residuals:
+            add = f"{tag}_res"
+            b.add(ElementwiseBinary(add, dims=dims_bsd),
+                  inputs={"in0": x, "in1": op_name})
+            src = add
+        else:
+            src = op_name
+        ln = f"{tag}_ln"
+        b.add(LayerNorm(ln, batch=batch, seq=seq, dim=model_dim), inputs={"in": src})
+        return ln
+
+    # -- encoder ------------------------------------------------------------
+    b.chain(Embedding("src_embedding", batch=batch, vocab=vocab, dim=model_dim,
+                      seq=seq))
+    x = "src_embedding"
+    for i in range(layers):
+        attn = f"enc{i}_attn"
+        b.add(MultiheadAttention(attn, batch=batch, seq=seq, heads=heads,
+                                 q_channels=q_ch), inputs={"in": x})
+        x = sublayer(f"enc{i}_a", attn, x)
+        ff = f"enc{i}_ff"
+        b.add(FeedForward(ff, batch=batch, seq=seq, model_dim=model_dim,
+                          hidden=ff_hidden), inputs={"in": x})
+        x = sublayer(f"enc{i}_f", ff, x)
+    memory = x  # encoder output: feeds every decoder layer's cross-attention
+
+    # -- decoder -----------------------------------------------------------
+    b.add(Embedding("tgt_embedding", batch=batch, vocab=vocab, dim=model_dim,
+                    seq=seq))
+    x = "tgt_embedding"
+    for i in range(layers):
+        attn = f"dec{i}_self"
+        b.add(MultiheadAttention(attn, batch=batch, seq=seq, heads=heads,
+                                 q_channels=q_ch), inputs={"in": x})
+        x = sublayer(f"dec{i}_s", attn, x)
+        cross = f"dec{i}_cross"
+        b.add(MultiheadAttention(cross, batch=batch, seq=seq, heads=heads,
+                                 q_channels=q_ch, cross_seq=seq),
+              inputs={"in": x, "memory": memory})
+        x = sublayer(f"dec{i}_c", cross, x)
+        ff = f"dec{i}_ff"
+        b.add(FeedForward(ff, batch=batch, seq=seq, model_dim=model_dim,
+                          hidden=ff_hidden), inputs={"in": x})
+        x = sublayer(f"dec{i}_f", ff, x)
+
+    # -- head ---------------------------------------------------------------
+    b.add(FullyConnected("projection", batch=batch, seq=seq, in_dim=model_dim,
+                         out_dim=vocab, names={"n": "v", "c": "d"}),
+          inputs={"in": x})
+    b.add(Softmax("softmax", batch=batch, classes=vocab, seq=seq, class_name="v"),
+          inputs={"in": "projection"})
+    return b.build()

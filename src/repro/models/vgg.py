@@ -1,0 +1,45 @@
+"""VGG-16 (Simonyan & Zisserman, 2015) — deep path-graph CNN extension.
+
+Like AlexNet a pure path graph, but with a much larger conv/FC FLOP ratio;
+useful for exercising OWT and the cost model on a second CNN shape.
+"""
+
+from __future__ import annotations
+
+from ..core.graph import CompGraph
+from ..ops import Activation, Conv2D, FullyConnected, Pool2D, SoftmaxCrossEntropy
+from .builder import GraphBuilder
+
+__all__ = ["vgg16"]
+
+#: (convs, channels) per stage of VGG-16.
+_STAGES = ((2, 64), (2, 128), (3, 256), (3, 512), (3, 512))
+
+
+def vgg16(*, batch: int = 128, classes: int = 1000, image: int = 224,
+          with_relu: bool = False) -> CompGraph:
+    """Build the VGG-16 computation graph."""
+    b = GraphBuilder()
+    hw, ch = image, 3
+    idx = 0
+    for convs, width in _STAGES:
+        for _ in range(convs):
+            idx += 1
+            b.chain(Conv2D(f"conv{idx}", batch=batch, in_channels=ch,
+                           out_channels=width, in_hw=(hw, hw), kernel=3,
+                           padding="same"))
+            ch = width
+            if with_relu:
+                b.chain(Activation(f"relu{idx}", dims=[("b", batch),
+                                                       ("c", ch),
+                                                       ("h", hw), ("w", hw)]))
+        b.chain(Pool2D(f"pool{idx}", batch=batch, channels=ch,
+                       in_hw=(hw, hw), kernel=2))
+        hw //= 2
+    flat = ch * hw * hw
+    b.chain(FullyConnected("fc1", batch=batch, in_dim=flat, out_dim=4096,
+                           in_factors=(ch, hw, hw)))
+    b.chain(FullyConnected("fc2", batch=batch, in_dim=4096, out_dim=4096))
+    b.chain(FullyConnected("fc3", batch=batch, in_dim=4096, out_dim=classes))
+    b.chain(SoftmaxCrossEntropy("softmax", batch=batch, classes=classes))
+    return b.build()

@@ -1,0 +1,44 @@
+"""Elementwise activation / regularization layers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dims import Dim
+from ..core.tensors import TensorSpec
+from .base import OpSpec
+
+__all__ = ["Activation", "Dropout"]
+
+
+def Activation(name: str, *, dims: Sequence[tuple[str, int]],
+               fn: str = "relu") -> OpSpec:
+    """An elementwise activation over an arbitrary iteration space.
+
+    ``dims`` is a sequence of ``(dim_name, size)`` pairs matching the
+    producing layer's output axes.
+    """
+    dtuple = tuple(Dim(n, s) for n, s in dims)
+    axes = tuple(n for n, _ in dims)
+    return OpSpec(
+        name=name,
+        kind=f"act_{fn}",
+        dims=dtuple,
+        inputs={"in": TensorSpec(axes=axes)},
+        outputs={"out": TensorSpec(axes=axes)},
+        flops_per_point=1.0,
+    )
+
+
+def Dropout(name: str, *, dims: Sequence[tuple[str, int]]) -> OpSpec:
+    """Dropout (mask multiply)."""
+    dtuple = tuple(Dim(n, s) for n, s in dims)
+    axes = tuple(n for n, _ in dims)
+    return OpSpec(
+        name=name,
+        kind="dropout",
+        dims=dtuple,
+        inputs={"in": TensorSpec(axes=axes)},
+        outputs={"out": TensorSpec(axes=axes)},
+        flops_per_point=1.0,
+    )

@@ -1,0 +1,87 @@
+"""Fused multi-head attention as a single graph vertex.
+
+Iteration space ``(b, s, h, c, k)`` — batch, sequence, heads, per-head
+query channels, per-head key/value channels — the paper's ``bshck``
+(Table II).  The model-width axis of the input/output activations is the
+*fixed alias* ``dm`` of extent ``h·c``: splitting heads shards the
+projection weights (Megatron-style) while the activations stay full-width,
+so ``h``/``c``/``k`` splits produce the end-of-block partial-sum all-reduce
+through the generic reduction machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim, shard_extent
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["MultiheadAttention"]
+
+
+@dataclass(frozen=True)
+class _MHASpec(OpSpec):
+    """MHA with sequence-split key/value all-gather as extra comm."""
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        """Splitting ``s`` requires each shard to gather full-sequence K/V."""
+        configs = np.asarray(configs, dtype=np.int64)
+        ss = configs[..., self.dim_index("s")]
+        sb = configs[..., self.dim_index("b")]
+        sh = configs[..., self.dim_index("h")]
+        sk = configs[..., self.dim_index("k")]
+        b_sh = shard_extent(self.dim_size("b"), sb)
+        h_sh = shard_extent(self.dim_size("h"), sh)
+        k_sh = shard_extent(self.dim_size("k"), sk)
+        s_full = self.dim_size("s")
+        kv = 2.0 * b_sh * s_full * h_sh * k_sh  # K and V
+        gathered = np.where(ss > 1, kv * (ss - 1) / np.maximum(ss, 1), 0.0)
+        return 2.0 * DTYPE_BYTES * gathered  # forward + backward
+
+
+def MultiheadAttention(name: str, *, batch: int, seq: int, heads: int,
+                       q_channels: int, kv_channels: int | None = None,
+                       cross_seq: int | None = None) -> OpSpec:
+    """A fused multi-head attention block (self- or cross-attention).
+
+    Parameters
+    ----------
+    q_channels:
+        Per-head query/output channels; model width is ``heads·q_channels``.
+    kv_channels:
+        Per-head key/value channels (defaults to ``q_channels``).
+    cross_seq:
+        If given, the block is cross-attention: keys/values come from a
+        second ``memory`` input port of sequence length ``cross_seq`` (the
+        encoder output in a Transformer decoder).  The memory's sequence
+        axis is a fixed alias — every query shard attends over the whole
+        memory, so it is never split.
+    """
+    kv_channels = q_channels if kv_channels is None else kv_channels
+    kv_seq = seq if cross_seq is None else cross_seq
+    d_model = heads * q_channels
+    # Q/K/V/O projections + score and context matmuls.
+    proj = 8.0 * batch * seq * d_model * d_model
+    attn = 4.0 * batch * heads * seq * kv_seq * kv_channels
+    aliases: dict[str, tuple[str | None, int]] = {"dm": (None, d_model)}
+    inputs = {
+        "in": TensorSpec(axes=("b", "s", "dm")),
+        "w": TensorSpec(axes=("h", "c", "dm"), is_param=True, scale=4.0),
+    }
+    if cross_seq is not None:
+        aliases["sm"] = (None, cross_seq)
+        inputs["memory"] = TensorSpec(axes=("b", "sm", "dm"))
+    return _MHASpec(
+        name=name,
+        kind="attention",
+        dims=(Dim("b", batch), Dim("s", seq), Dim("h", heads),
+              Dim("c", q_channels), Dim("k", kv_channels)),
+        inputs=inputs,
+        outputs={"out": TensorSpec(axes=("b", "s", "dm"))},
+        reduction_dims=frozenset({"h", "c", "k"}),
+        flops_fwd_override=proj + attn,
+        aliases=aliases,
+    )

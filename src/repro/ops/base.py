@@ -1,0 +1,224 @@
+"""`OpSpec`: the operator protocol every layer type implements.
+
+An operator is fully described by
+
+* an ordered iteration space (tuple of `Dim`),
+* optional *alias dims* — named axes with their own extent that either
+  follow the split of a primary dim (a convolution's input spatial extent
+  follows the output-spatial split) or are never split (the model-width
+  axis of a fused attention operator),
+* input tensor ports (some marked as trainable parameters),
+* output tensor ports,
+* the subset of dims that are *contracted* (appear in the computation but
+  not in the primary output — splitting them leaves partial sums that must
+  be reduced across devices),
+* a FLOP model: either uniform FLOPs per iteration point or an explicit
+  forward-FLOP override for operators (embedding lookup, fused attention)
+  whose work is not proportional to their full iteration-space volume.
+
+From these, `repro.core.costmodel` derives the paper's layer cost ``t_l``
+and edge transfer cost ``t_x`` generically; operators may additionally
+override :meth:`OpSpec.extra_comm_bytes` for layer-specific communication
+such as convolution halo exchange or recurrent-boundary handoff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dims import Dim
+from ..core.exceptions import GraphError
+from ..core.tensors import TensorSpec
+
+__all__ = [
+    "OpSpec",
+    "TRAINING_FLOP_FACTOR_PARAM",
+    "TRAINING_FLOP_FACTOR_NOPARAM",
+]
+
+#: Training-step FLOP multiple of the forward pass.  Layers with trainable
+#: parameters run forward, grad-input, and grad-weight passes (3x); layers
+#: without parameters skip grad-weight (2x).
+TRAINING_FLOP_FACTOR_PARAM = 3.0
+TRAINING_FLOP_FACTOR_NOPARAM = 2.0
+
+#: Default primary output port name.
+OUT = "out"
+
+
+@dataclass(frozen=True)
+class OpSpec:
+    """A DNN layer as a parallelizable iteration space.
+
+    Subclasses are thin constructors that fill in the fields for a concrete
+    layer type; all cost behaviour lives in the generic methods here plus
+    the cost model.
+
+    Attributes
+    ----------
+    name:
+        Unique node name within a computation graph.
+    kind:
+        Layer-type tag (``"conv2d"``, ``"fc"``, ...) used by baseline
+        strategy generators (e.g. OWT switches on conv vs fully-connected).
+    dims:
+        The iteration space (primary, configurable dims).
+    aliases:
+        Alias axes: name -> (primary dim name or None, extent).  Aliases
+        may appear in tensor axes; they inherit the primary dim's split
+        factor (or stay unsplit when the primary is None) but are never
+        enumerated in configurations.
+    inputs / outputs:
+        Tensor ports keyed by port name.  Edge endpoints reference ports.
+    reduction_dims:
+        Names of contracted primary dims.
+    flops_per_point:
+        Forward FLOPs per iteration point (2.0 for multiply-accumulate
+        kernels such as GEMM/conv, ~1.0 for elementwise work).
+    flops_fwd_override:
+        Explicit total forward FLOPs; when set, ``flops_per_point`` is
+        ignored.
+    """
+
+    name: str
+    kind: str
+    dims: tuple[Dim, ...]
+    inputs: dict[str, TensorSpec] = field(default_factory=dict)
+    outputs: dict[str, TensorSpec] = field(default_factory=dict)
+    reduction_dims: frozenset[str] = frozenset()
+    flops_per_point: float = 1.0
+    flops_fwd_override: float | None = None
+    aliases: dict[str, tuple[str | None, int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        names = [d.name for d in self.dims]
+        if len(set(names)) != len(names):
+            raise GraphError(f"op {self.name!r} has duplicate dim names {names}")
+        index = {n: i for i, n in enumerate(names)}
+        object.__setattr__(self, "_dim_index", index)
+        object.__setattr__(self, "_dim_sizes", tuple(d.size for d in self.dims))
+        for alias, (primary, size) in self.aliases.items():
+            if alias in index:
+                raise GraphError(f"op {self.name!r}: alias {alias!r} shadows a dim")
+            if primary is not None and primary not in index:
+                raise GraphError(
+                    f"op {self.name!r}: alias {alias!r} maps to unknown dim {primary!r}")
+            if size < 1:
+                raise GraphError(f"op {self.name!r}: alias {alias!r} has size {size}")
+        for port, spec in {**self.inputs, **self.outputs}.items():
+            if not isinstance(spec, TensorSpec):
+                raise GraphError(f"port {port!r} of {self.name!r} is not a TensorSpec")
+            spec.validate(self)
+        for red in self.reduction_dims:
+            if red not in index:
+                raise GraphError(f"op {self.name!r} reduction dim {red!r} not in iteration space")
+        if self.outputs:
+            out = self.primary_output
+            for red in self.reduction_dims:
+                if red in out.axes:
+                    raise GraphError(
+                        f"op {self.name!r}: reduction dim {red!r} appears in output axes")
+
+    # -- iteration space ---------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        """Dimensionality of the (configurable) iteration space."""
+        return len(self.dims)
+
+    def has_dim(self, name: str) -> bool:
+        return name in self._dim_index or name in self.aliases
+
+    def resolve_dim(self, name: str) -> str | None:
+        """Primary dim a (possibly alias) axis follows; None if never split."""
+        if name in self._dim_index:
+            return name
+        try:
+            return self.aliases[name][0]
+        except KeyError:
+            raise GraphError(f"op {self.name!r} has no dim or alias {name!r}") from None
+
+    def dim_index(self, name: str) -> int:
+        return self._dim_index[name]
+
+    def dim_size(self, name: str) -> int:
+        if name in self._dim_index:
+            return self._dim_sizes[self._dim_index[name]]
+        try:
+            return self.aliases[name][1]
+        except KeyError:
+            raise GraphError(f"op {self.name!r} has no dim or alias {name!r}") from None
+
+    @property
+    def dim_names(self) -> tuple[str, ...]:
+        return tuple(d.name for d in self.dims)
+
+    @property
+    def dim_sizes(self) -> tuple[int, ...]:
+        return self._dim_sizes
+
+    @property
+    def iteration_points(self) -> int:
+        return int(np.prod(self._dim_sizes, dtype=np.int64))
+
+    # -- tensors -----------------------------------------------------------
+
+    @property
+    def primary_output(self) -> TensorSpec:
+        """The output tensor whose partial sums reductions target.
+
+        By convention the port named ``"out"`` if present, else the first
+        declared output.
+        """
+        if OUT in self.outputs:
+            return self.outputs[OUT]
+        return next(iter(self.outputs.values()))
+
+    @property
+    def param_ports(self) -> tuple[str, ...]:
+        return tuple(p for p, s in self.inputs.items() if s.is_param)
+
+    @property
+    def has_params(self) -> bool:
+        return any(s.is_param for s in self.inputs.values())
+
+    def param_volume(self) -> float:
+        """Total trainable-parameter element count."""
+        return sum(s.volume(self) for s in self.inputs.values() if s.is_param)
+
+    # -- cost hooks ----------------------------------------------------------
+
+    @property
+    def training_flop_factor(self) -> float:
+        return TRAINING_FLOP_FACTOR_PARAM if self.has_params else TRAINING_FLOP_FACTOR_NOPARAM
+
+    @property
+    def fwd_flops(self) -> float:
+        """Forward-pass FLOPs."""
+        if self.flops_fwd_override is not None:
+            return self.flops_fwd_override
+        return self.flops_per_point * self.iteration_points
+
+    @property
+    def flops(self) -> float:
+        """Total training-step FLOPs (forward + backward)."""
+        return self.fwd_flops * self.training_flop_factor
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        """Layer-specific internal communication (bytes/device/step).
+
+        Evaluated vectorized over ``configs`` of shape ``[K, d]``; returns
+        ``[K]``.  The default is zero; convolution overrides this with halo
+        exchange for spatial splits, the fused LSTM with recurrent-boundary
+        handoff.
+        """
+        configs = np.asarray(configs)
+        return np.zeros(configs.shape[:-1], dtype=np.float64)
+
+    # -- misc ----------------------------------------------------------------
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        space = ", ".join(f"{d.name}={d.size}" for d in self.dims)
+        return f"<{type(self).__name__} {self.name!r} [{space}]>"

@@ -1,0 +1,107 @@
+"""2-D convolution with halo-exchange accounting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim, shard_extent
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["Conv2D"]
+
+
+@dataclass(frozen=True)
+class _Conv2DSpec(OpSpec):
+    """Conv2D with spatial-split halo exchange as extra internal comm."""
+
+    kernel_hw: tuple[int, int] = (1, 1)
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        """Halo exchange for spatial splits (forward + backward).
+
+        Splitting output height ``sh``-ways makes each device's input tile
+        miss ``kh - 1`` boundary rows, fetched from spatial neighbors; the
+        same volume flows back as input-gradient halo.  Symmetric in
+        width.  Stride is ignored (halo is a boundary effect).
+        """
+        configs = np.asarray(configs, dtype=np.int64)
+        kh, kw = self.kernel_hw
+        sb = configs[..., self.dim_index("b")]
+        sc = configs[..., self.dim_index("c")]
+        sh = configs[..., self.dim_index("h")]
+        sw = configs[..., self.dim_index("w")]
+        in_h = self.dim_size("hi")
+        in_w = self.dim_size("wi")
+        c = self.dim_size("c")
+        b = self.dim_size("b")
+        row = shard_extent(in_w, sw) * shard_extent(c, sc) * shard_extent(b, sb)
+        col = shard_extent(in_h, sh) * shard_extent(c, sc) * shard_extent(b, sb)
+        halo = np.where(sh > 1, (kh - 1) * row, 0) + np.where(sw > 1, (kw - 1) * col, 0)
+        return 2.0 * DTYPE_BYTES * halo.astype(np.float64)
+
+
+def Conv2D(
+    name: str,
+    *,
+    batch: int,
+    in_channels: int,
+    out_channels: int,
+    in_hw: tuple[int, int],
+    kernel: tuple[int, int] | int,
+    stride: tuple[int, int] | int = 1,
+    padding: str = "same",
+    splittable_kernel: bool = False,
+    bias: bool = True,
+) -> OpSpec:
+    """A 2-D convolution layer.
+
+    Iteration space ``(b, c, h, w, n, r, s)`` in the paper's Table II order
+    (``h, w`` are *output* spatial extents; ``r, s`` the filter window,
+    unsplittable by default — splitting a small stencil across devices is
+    never profitable and excluding it keeps configuration counts in the
+    paper's reported ranges).  The input tensor's spatial axes are aliases
+    ``hi, wi`` of ``h, w``: they carry the input extents but follow the
+    output-spatial splits.
+
+    ``padding``: ``"same"`` (output = ceil(in / stride)) or ``"valid"``.
+    """
+    kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    ih, iw = in_hw
+    if padding == "same":
+        oh, ow = -(-ih // sh), -(-iw // sw)
+    elif padding == "valid":
+        oh, ow = (ih - kh) // sh + 1, (iw - kw) // sw + 1
+    else:
+        raise ValueError(f"unknown padding {padding!r}")
+    if oh < 1 or ow < 1:
+        raise ValueError(f"conv {name!r}: non-positive output spatial ({oh}, {ow})")
+    dims = (
+        Dim("b", batch),
+        Dim("c", in_channels),
+        Dim("h", oh),
+        Dim("w", ow),
+        Dim("n", out_channels),
+        Dim("r", kh, splittable=splittable_kernel),
+        Dim("s", kw, splittable=splittable_kernel),
+    )
+    inputs = {
+        "in": TensorSpec(axes=("b", "c", "hi", "wi")),
+        "w": TensorSpec(axes=("n", "c", "r", "s"), is_param=True),
+    }
+    if bias:
+        inputs["bias"] = TensorSpec(axes=("n",), is_param=True)
+    return _Conv2DSpec(
+        name=name,
+        kind="conv2d",
+        dims=dims,
+        inputs=inputs,
+        outputs={"out": TensorSpec(axes=("b", "n", "h", "w"))},
+        reduction_dims=frozenset({"c", "r", "s"}),
+        flops_per_point=2.0,
+        aliases={"hi": ("h", ih), "wi": ("w", iw)},
+        kernel_hw=(kh, kw),
+    )

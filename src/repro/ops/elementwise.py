@@ -1,0 +1,26 @@
+"""Elementwise binary operators (residual adds, gating)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.dims import Dim
+from ..core.tensors import TensorSpec
+from .base import OpSpec
+
+__all__ = ["ElementwiseBinary"]
+
+
+def ElementwiseBinary(name: str, *, dims: Sequence[tuple[str, int]],
+                      fn: str = "add") -> OpSpec:
+    """An elementwise binary op with two input ports ``in0``/``in1``."""
+    dtuple = tuple(Dim(n, s) for n, s in dims)
+    axes = tuple(n for n, _ in dims)
+    return OpSpec(
+        name=name,
+        kind=f"ew_{fn}",
+        dims=dtuple,
+        inputs={"in0": TensorSpec(axes=axes), "in1": TensorSpec(axes=axes)},
+        outputs={"out": TensorSpec(axes=axes)},
+        flops_per_point=1.0,
+    )

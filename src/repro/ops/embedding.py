@@ -1,0 +1,66 @@
+"""Embedding lookup layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["Embedding"]
+
+
+@dataclass(frozen=True)
+class _EmbeddingSpec(OpSpec):
+    """Embedding with all-to-all gather for vocabulary-split tables.
+
+    Splitting the vocabulary dim ``m``-ways shards the table; each device
+    computes the embeddings of the roughly ``1/m`` of tokens that hit its
+    shard and exchanges them with the devices that consume them — an
+    all-to-all whose per-device volume is the *produced* share, not the
+    full activation (unlike a partial-sum reduction, every output element
+    has exactly one producer).
+    """
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        configs = np.asarray(configs, dtype=np.int64)
+        m = configs[..., self.dim_index("v")].astype(np.float64)
+        out_shard = self.primary_output.shard_volume(self, configs)
+        produced = out_shard / np.maximum(m, 1.0)
+        # send + receive, forward + backward.
+        per_dev = 4.0 * DTYPE_BYTES * produced * (m - 1.0) / np.maximum(m, 1.0)
+        return np.where(m > 1, per_dev, 0.0)
+
+
+def Embedding(name: str, *, batch: int, vocab: int, dim: int,
+              seq: int | None = None) -> OpSpec:
+    """Embedding lookup ``out[b,(s),d] = W[id[b,(s)], d]``.
+
+    Iteration space ``(b, [s,] d, v)`` — the paper's ``bsdv`` (Table II).
+    Splitting ``v`` shards the (huge) table, cutting the update-phase cost
+    and the gradient footprint at the price of an all-to-all exchange of
+    looked-up rows; actual arithmetic is the lookup's ``O(b·s·d)``.
+    """
+    dims = [Dim("b", batch)]
+    lead = ["b"]
+    if seq is not None:
+        dims.append(Dim("s", seq))
+        lead.append("s")
+    dims += [Dim("d", dim), Dim("v", vocab)]
+    points = batch * (seq or 1) * dim
+    return _EmbeddingSpec(
+        name=name,
+        kind="embedding",
+        dims=tuple(dims),
+        inputs={
+            "ids": TensorSpec(axes=tuple(lead)),
+            # Gradients only touch the looked-up rows.
+            "w": TensorSpec(axes=("v", "d"), is_param=True,
+                            sparse_grad_elements=float(points)),
+        },
+        outputs={"out": TensorSpec(axes=tuple(lead) + ("d",))},
+        flops_fwd_override=2.0 * points,
+    )

@@ -1,0 +1,75 @@
+"""Normalization layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim, shard_extent
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["LocalResponseNorm", "BatchNorm", "LayerNorm"]
+
+
+@dataclass(frozen=True)
+class _LayerNormSpec(OpSpec):
+    """LayerNorm whose model-dim splits all-reduce the per-row moments."""
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        configs = np.asarray(configs, dtype=np.int64)
+        sd = configs[..., self.dim_index("d")]
+        rows = shard_extent(self.dim_size("b"), configs[..., self.dim_index("b")]) \
+            * shard_extent(self.dim_size("s"), configs[..., self.dim_index("s")])
+        # mean + variance forward, matching pair backward.
+        per = 4.0 * 2.0 * rows * DTYPE_BYTES * (sd - 1) / np.maximum(sd, 1)
+        return np.where(sd > 1, per.astype(np.float64), 0.0)
+
+
+def LocalResponseNorm(name: str, *, batch: int, channels: int,
+                      hw: tuple[int, int], window: int = 5) -> OpSpec:
+    """AlexNet-style local response normalization (no parameters)."""
+    return OpSpec(
+        name=name,
+        kind="lrn",
+        dims=(Dim("b", batch), Dim("c", channels), Dim("h", hw[0]), Dim("w", hw[1])),
+        inputs={"in": TensorSpec(axes=("b", "c", "h", "w"))},
+        outputs={"out": TensorSpec(axes=("b", "c", "h", "w"))},
+        flops_per_point=float(window),
+    )
+
+
+def BatchNorm(name: str, *, batch: int, channels: int, hw: tuple[int, int]) -> OpSpec:
+    """Batch normalization; gamma/beta are ``(c,)`` parameters.
+
+    Cross-device moment synchronization under batch splits is a
+    two-scalars-per-channel all-reduce — folded into the (tiny) gradient
+    all-reduce the parameter replication already charges.
+    """
+    return OpSpec(
+        name=name,
+        kind="batchnorm",
+        dims=(Dim("b", batch), Dim("c", channels), Dim("h", hw[0]), Dim("w", hw[1])),
+        inputs={
+            "in": TensorSpec(axes=("b", "c", "h", "w")),
+            "gamma": TensorSpec(axes=("c",), is_param=True, scale=2.0),
+        },
+        outputs={"out": TensorSpec(axes=("b", "c", "h", "w"))},
+        flops_per_point=4.0,
+    )
+
+
+def LayerNorm(name: str, *, batch: int, seq: int, dim: int) -> OpSpec:
+    """Layer normalization over the model dim; gamma/beta parameters."""
+    return _LayerNormSpec(
+        name=name,
+        kind="layernorm",
+        dims=(Dim("b", batch), Dim("s", seq), Dim("d", dim)),
+        inputs={
+            "in": TensorSpec(axes=("b", "s", "d")),
+            "gamma": TensorSpec(axes=("d",), is_param=True, scale=2.0),
+        },
+        outputs={"out": TensorSpec(axes=("b", "s", "d"))},
+        flops_per_point=5.0,
+    )

@@ -1,0 +1,50 @@
+"""Spatial pooling."""
+
+from __future__ import annotations
+
+from ..core.dims import Dim
+from ..core.tensors import TensorSpec
+from .base import OpSpec
+
+__all__ = ["Pool2D"]
+
+
+def Pool2D(
+    name: str,
+    *,
+    batch: int,
+    channels: int,
+    in_hw: tuple[int, int],
+    kernel: tuple[int, int] | int,
+    stride: tuple[int, int] | int | None = None,
+    padding: str = "valid",
+    kind: str = "maxpool",
+) -> OpSpec:
+    """Max/average pooling over iteration space ``(b, c, h, w)``.
+
+    ``h, w`` are output spatial extents; the input tensor uses alias axes
+    ``hi, wi``.  One comparison/add per window element is charged per
+    output point.
+    """
+    kh, kw = (kernel, kernel) if isinstance(kernel, int) else kernel
+    if stride is None:
+        stride = (kh, kw)
+    sh, sw = (stride, stride) if isinstance(stride, int) else stride
+    ih, iw = in_hw
+    if padding == "same":
+        oh, ow = -(-ih // sh), -(-iw // sw)
+    elif padding == "valid":
+        oh, ow = (ih - kh) // sh + 1, (iw - kw) // sw + 1
+    else:
+        raise ValueError(f"unknown padding {padding!r}")
+    if oh < 1 or ow < 1:
+        raise ValueError(f"pool {name!r}: non-positive output spatial ({oh}, {ow})")
+    return OpSpec(
+        name=name,
+        kind=kind,
+        dims=(Dim("b", batch), Dim("c", channels), Dim("h", oh), Dim("w", ow)),
+        inputs={"in": TensorSpec(axes=("b", "c", "hi", "wi"))},
+        outputs={"out": TensorSpec(axes=("b", "c", "h", "w"))},
+        flops_per_point=float(kh * kw),
+        aliases={"hi": ("h", ih), "wi": ("w", iw)},
+    )

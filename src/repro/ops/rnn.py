@@ -1,0 +1,86 @@
+"""Recurrent layers: a whole LSTM stack as a single graph vertex.
+
+Following Section IV-A of the paper, the complete multi-layer LSTM
+operator — including its recurrent steps — is one vertex with a
+five-dimensional iteration space ``(l, b, s, d, e)``: layers, batch,
+sequence (recurrent steps), input/embedding dim, hidden dim.  This both
+shrinks the RNNLM graph to a path graph and lets configurations that split
+``l`` and ``s`` capture *intra-layer pipeline parallelism* (wave-front
+execution across layer/time tiles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim, shard_extent
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["LSTMStack"]
+
+
+@dataclass(frozen=True)
+class _LSTMStackSpec(OpSpec):
+    """LSTM stack with layer/sequence tile-boundary handoff costs."""
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        """Pipeline tile handoff (forward + backward).
+
+        Splitting the sequence dim ``s`` passes the hidden and cell states
+        across each time boundary; splitting the layer dim ``l`` passes
+        activations across each layer-group boundary.
+        """
+        configs = np.asarray(configs, dtype=np.int64)
+        sl = configs[..., self.dim_index("l")]
+        sb = configs[..., self.dim_index("b")]
+        ss = configs[..., self.dim_index("s")]
+        se = configs[..., self.dim_index("e")]
+        b_sh = shard_extent(self.dim_size("b"), sb)
+        e_sh = shard_extent(self.dim_size("e"), se)
+        l_sh = shard_extent(self.dim_size("l"), sl)
+        s_sh = shard_extent(self.dim_size("s"), ss)
+        # h and c states at each of the (ss-1) sequence boundaries.
+        seq_handoff = np.where(ss > 1, 2.0 * l_sh * b_sh * e_sh, 0.0)
+        # activations at each of the (sl-1) layer boundaries, every step.
+        layer_handoff = np.where(sl > 1, 1.0 * b_sh * s_sh * e_sh, 0.0)
+        # Splitting the hidden dim shards h, but the recurrent GEMM
+        # h_{t-1}·W_hh contracts over the *full* hidden vector: every
+        # step all-gathers the missing (se-1)/se of h across the group.
+        e_full = self.dim_size("e")
+        hidden_gather = np.where(
+            se > 1,
+            s_sh * l_sh * b_sh * e_full * (se - 1) / np.maximum(se, 1),
+            0.0)
+        return 2.0 * DTYPE_BYTES * (seq_handoff + layer_handoff + hidden_gather)
+
+
+def LSTMStack(name: str, *, layers: int, batch: int, seq: int,
+              in_dim: int, hidden: int) -> OpSpec:
+    """A fused multi-layer LSTM operator.
+
+    Iteration space ``(l, b, s, d, e)`` in the paper's Table II order;
+    ``d`` (the gate-GEMM contraction) is the reduction dim.  The four gate
+    matrices of every layer are one parameter spec of axes ``(l, d, e)``
+    with a volume scale of ``4 (d + e) / d`` (input-to-hidden plus
+    hidden-to-hidden for four gates).
+    """
+    if in_dim < 1 or hidden < 1:
+        raise ValueError("LSTM dims must be positive")
+    param_scale = 4.0 * (in_dim + hidden) / in_dim
+    fwd = 8.0 * layers * batch * seq * hidden * (in_dim + hidden)
+    return _LSTMStackSpec(
+        name=name,
+        kind="lstm",
+        dims=(Dim("l", layers), Dim("b", batch), Dim("s", seq),
+              Dim("d", in_dim), Dim("e", hidden)),
+        inputs={
+            "in": TensorSpec(axes=("b", "s", "d")),
+            "w": TensorSpec(axes=("l", "d", "e"), is_param=True, scale=param_scale),
+        },
+        outputs={"out": TensorSpec(axes=("b", "s", "e"))},
+        reduction_dims=frozenset({"d"}),
+        flops_fwd_override=fwd,
+    )

@@ -1,0 +1,65 @@
+"""Softmax / cross-entropy loss layers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.dims import Dim, shard_extent
+from ..core.tensors import DTYPE_BYTES, TensorSpec
+from .base import OpSpec
+
+__all__ = ["Softmax", "SoftmaxCrossEntropy"]
+
+
+@dataclass(frozen=True)
+class _SoftmaxSpec(OpSpec):
+    """Softmax whose class-dim splits all-reduce the per-row normalizer."""
+
+    class_dim: str = "n"
+
+    def extra_comm_bytes(self, configs: np.ndarray) -> np.ndarray:
+        configs = np.asarray(configs, dtype=np.int64)
+        sv = configs[..., self.dim_index(self.class_dim)]
+        rows = np.ones(configs.shape[:-1], dtype=np.float64)
+        for d in self.dims:
+            if d.name == self.class_dim:
+                continue
+            rows = rows * shard_extent(d.size, configs[..., self.dim_index(d.name)])
+        # max + sum all-reduce forward, matching term backward.
+        per = 2.0 * 2.0 * rows * DTYPE_BYTES * (sv - 1) / np.maximum(sv, 1)
+        return np.where(sv > 1, per, 0.0)
+
+
+def _softmax(name: str, kind: str, *, batch: int, classes: int,
+             seq: int | None, class_name: str) -> OpSpec:
+    dims = [Dim("b", batch)]
+    if seq is not None:
+        dims.append(Dim("s", seq))
+    dims.append(Dim(class_name, classes))
+    axes = tuple(d.name for d in dims)
+    return _SoftmaxSpec(
+        name=name,
+        kind=kind,
+        dims=tuple(dims),
+        inputs={"in": TensorSpec(axes=axes)},
+        outputs={"out": TensorSpec(axes=axes)},
+        flops_per_point=5.0,
+        class_dim=class_name,
+    )
+
+
+def Softmax(name: str, *, batch: int, classes: int, seq: int | None = None,
+            class_name: str = "n") -> OpSpec:
+    """Softmax over ``(b, [s,] n)``; splitting the class dim incurs a
+    per-row normalizer all-reduce."""
+    return _softmax(name, "softmax", batch=batch, classes=classes, seq=seq,
+                    class_name=class_name)
+
+
+def SoftmaxCrossEntropy(name: str, *, batch: int, classes: int,
+                        seq: int | None = None, class_name: str = "n") -> OpSpec:
+    """Fused softmax + cross-entropy loss (the usual training head)."""
+    return _softmax(name, "softmax_xent", batch=batch, classes=classes, seq=seq,
+                    class_name=class_name)

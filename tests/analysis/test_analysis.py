@@ -1,0 +1,58 @@
+"""Tests for graph statistics and report formatting."""
+
+import pytest
+
+from repro.analysis import (
+    config_count_stats,
+    degree_histogram,
+    dependent_set_profile,
+    format_grid,
+    format_speedup_table,
+    format_time,
+    section_3c_report,
+)
+from repro.core.sequencer import breadth_first_seq, generate_seq
+from repro.models import inception_v3, mlp
+from tests.conftest import build_dag
+
+
+class TestGraphStats:
+    def test_degree_histogram(self, diamond):
+        assert degree_histogram(diamond) == {2: 4}
+
+    def test_config_count_stats(self):
+        g = mlp(batch=16, hidden=(32,))
+        s = config_count_stats(g, 8)
+        assert s["k_min"] >= 1 and s["k_max"] >= s["k_median"] >= s["k_min"]
+
+    def test_dependent_set_profile(self, diamond):
+        prof = dependent_set_profile(diamond, generate_seq(diamond))
+        assert prof["max"] >= 1 and prof["mean"] > 0
+
+    def test_section_3c_inception(self):
+        """The paper's Section III-C numbers: a few dense nodes, BF
+        combinations astronomically above GENERATESEQ's."""
+        rep = section_3c_report(inception_v3(), ps=(8,))
+        assert rep["nodes_degree_ge_5"] == 12
+        assert rep["nodes_degree_lt_5"] == rep["nodes"] - 12
+        assert rep["generateseq_max_dependent"] <= 3
+        assert rep["bf_combinations_bound"] > \
+            1e6 * rep["generateseq_combinations_bound"]
+
+
+class TestReporting:
+    def test_format_time(self):
+        assert format_time(None) == "OOM"
+        assert format_time(0.234) == "0:00.234"
+        assert format_time(75.5) == "1:15.500"
+
+    def test_format_grid(self):
+        text = format_grid(["a", "bb"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "-" in lines[1]
+
+    def test_format_speedup_table(self):
+        data = {"alexnet": {4: {"ours": 1.5, "expert": 1.2}}}
+        text = format_speedup_table(data, ["expert", "ours"])
+        assert "1.50x" in text and "1.20x" in text

@@ -1,0 +1,86 @@
+"""Tests for memory-footprint estimation and memory-capped search."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.memory import MemoryModel, strategy_memory
+from repro.baselines import data_parallel_strategy
+from repro.core.configs import ConfigSpace, prune_configs_by_memory
+from repro.core.costmodel import CostModel
+from repro.core.dp import find_best_strategy
+from repro.core.exceptions import ConfigError
+from repro.core.machine import GTX1080TI
+from repro.core.strategy import Strategy
+from repro.models import mlp, rnnlm
+
+
+class TestMemoryModel:
+    def test_serial_holds_everything(self):
+        g = mlp(batch=16, hidden=(64,))
+        mem = strategy_memory(g, Strategy.serial(g))
+        fc1 = mem["fc1"]
+        # weight(784*64) + bias(64), x3 for optimizer state, 4 B each.
+        assert fc1.params == pytest.approx((784 * 64 + 64) * 3 * 4)
+        assert fc1.activations > 0
+        assert fc1.comm_buffers == 0.0  # no comm when serial
+
+    def test_splitting_shrinks_footprint(self):
+        g = mlp(batch=16, hidden=(64,))
+        op = g.node("fc1")
+        mm = MemoryModel()
+        serial = mm.node_bytes(op, np.array([[1, 1, 1]]))[0]
+        split = mm.node_bytes(op, np.array([[1, 4, 4]]))[0]
+        assert split < serial
+
+    def test_data_parallel_replicates_params(self):
+        """Batch splits do not shrink parameter memory — the Section II
+        point about data parallelism and large models."""
+        g = mlp(batch=16, hidden=(64,))
+        serial = strategy_memory(g, Strategy.serial(g))
+        dp = strategy_memory(g, data_parallel_strategy(g, 4))
+        assert dp["fc1"].params == serial["fc1"].params
+        assert dp["fc1"].activations < serial["fc1"].activations
+
+    def test_totals(self):
+        g = mlp(batch=16, hidden=(64,))
+        mem = strategy_memory(g, Strategy.serial(g))
+        for nm in mem.values():
+            assert nm.total == nm.params + nm.activations + nm.comm_buffers
+
+
+class TestMemoryPruning:
+    def test_generous_capacity_keeps_everything(self):
+        g = mlp(batch=16, hidden=(64,))
+        space = ConfigSpace.build(g, 4)
+        pruned = prune_configs_by_memory(g, space, 1e15)
+        assert all(pruned.size(n) == space.size(n) for n in g.node_names)
+
+    def test_tight_capacity_removes_replicating_configs(self):
+        """An 800k-vocab RNNLM cannot replicate its projection on an
+        11 GiB device: the data-parallel configs of the big layers must
+        disappear from the search space."""
+        g = rnnlm(vocab=800_000)
+        space = ConfigSpace.build(g, 32)
+        pruned = prune_configs_by_memory(g, space, 11 * 2**30)
+        proj = g.node("projection")
+        assert pruned.size("projection") < space.size("projection")
+        for row in pruned.configs("projection"):
+            # every surviving config shards the big weight (v or d split)
+            assert row[proj.dim_index("v")] * row[proj.dim_index("d")] > 1
+
+    def test_impossible_capacity_raises(self):
+        g = mlp(batch=16, hidden=(64,))
+        space = ConfigSpace.build(g, 4)
+        with pytest.raises(ConfigError, match="no configuration fits"):
+            prune_configs_by_memory(g, space, 16.0)
+
+    def test_search_over_pruned_space(self):
+        g = rnnlm(vocab=800_000)
+        space = prune_configs_by_memory(
+            g, ConfigSpace.build(g, 32), 11 * 2**30)
+        tables = CostModel(GTX1080TI).build_tables(g, space)
+        res = find_best_strategy(g, space, tables)
+        res.strategy.validate(g, 32)
+        # The found strategy fits on the devices.
+        mem = strategy_memory(g, res.strategy)
+        assert all(nm.total <= 11 * 2**30 for nm in mem.values())

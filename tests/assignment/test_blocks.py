@@ -1,0 +1,111 @@
+"""Tests for shard-block geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.assignment.blocks import (
+    axis_block,
+    block_overlap,
+    shard_indices,
+    tensor_blocks,
+)
+from tests.core.test_tensors import gemm_op
+
+
+class TestShardIndices:
+    def test_empty_config(self):
+        assert shard_indices(()).shape == (1, 0)
+
+    def test_grid(self):
+        idx = shard_indices((2, 3))
+        assert idx.shape == (6, 2)
+        assert idx.tolist()[0] == [0, 0]
+        assert idx.tolist()[-1] == [1, 2]
+
+    def test_row_major(self):
+        idx = shard_indices((2, 2))
+        assert idx.tolist() == [[0, 0], [0, 1], [1, 0], [1, 1]]
+
+
+class TestAxisBlock:
+    def test_exact(self):
+        start, stop = axis_block(8, 2, np.array([0, 1]))
+        assert start.tolist() == [0, 4] and stop.tolist() == [4, 8]
+
+    def test_ceil_last_block_short(self):
+        start, stop = axis_block(7, 2, np.array([0, 1]))
+        assert (stop - start).tolist() == [4, 3]
+
+    def test_empty_trailing_block(self):
+        start, stop = axis_block(4, 3, np.array([2]))
+        assert (stop - start).tolist() == [0]
+
+    @given(st.integers(1, 100), st.integers(1, 16))
+    def test_blocks_tile_axis(self, size, split):
+        idx = np.arange(split)
+        start, stop = axis_block(size, split, idx)
+        assert start[0] == 0 and stop[-1] == size or stop.max() == size
+        # contiguous, non-overlapping
+        assert (start[1:] >= stop[:-1] - 0).all()
+        assert int((stop - start).sum()) == size
+
+
+class TestTensorBlocks:
+    def test_gemm_input_blocks(self):
+        op = gemm_op(b=8, n=4, c=6)
+        cfg = (2, 1, 3)
+        shards = shard_indices(cfg)
+        blocks = tensor_blocks(op, op.inputs["in"], cfg, shards)
+        assert blocks.shape == (6, 2, 2)
+        # shard (0,0,0): b in [0,4), c in [0,2)
+        assert blocks[0].tolist() == [[0, 4], [0, 2]]
+
+    def test_replicated_dims_same_block(self):
+        op = gemm_op(b=8, n=4, c=6)
+        cfg = (1, 4, 1)  # n-split: input identical across shards
+        shards = shard_indices(cfg)
+        blocks = tensor_blocks(op, op.inputs["in"], cfg, shards)
+        assert (blocks == blocks[0]).all()
+
+
+class TestBlockOverlap:
+    def test_identical(self):
+        a = np.array([[[0, 4], [0, 4]]])
+        assert block_overlap(a, a).tolist() == [[16]]
+
+    def test_disjoint(self):
+        a = np.array([[[0, 4]]])
+        b = np.array([[[4, 8]]])
+        assert block_overlap(a, b).tolist() == [[0]]
+
+    def test_partial(self):
+        a = np.array([[[0, 4]]])
+        b = np.array([[[2, 8]]])
+        assert block_overlap(a, b).tolist() == [[2]]
+
+    def test_rank_mismatch(self):
+        with pytest.raises(ValueError):
+            block_overlap(np.zeros((1, 1, 2)), np.zeros((1, 2, 2)))
+
+    def test_zero_rank(self):
+        out = block_overlap(np.zeros((2, 0, 2)), np.zeros((3, 0, 2)))
+        assert out.shape == (2, 3) and (out == 1).all()
+
+    def test_partition_overlaps_sum_to_block(self):
+        """Producer blocks tile the tensor, so overlaps with any consumer
+        block sum to the consumer block's volume."""
+        op = gemm_op(b=8, n=4, c=6)
+        out = op.outputs["out"]
+        prod_cfg, cons_cfg = (4, 2, 1), (2, 1, 3)
+        prod = tensor_blocks(op, out, prod_cfg, shard_indices(prod_cfg))
+        cons = tensor_blocks(op, out, cons_cfg, shard_indices(cons_cfg))
+        ov = block_overlap(cons, prod)
+        # Deduplicate replicated producer columns before summing.
+        uniq = {}
+        for j in range(prod.shape[0]):
+            uniq[prod[j].tobytes()] = j
+        cols = sorted(uniq.values())
+        vols = (cons[:, :, 1] - cons[:, :, 0]).prod(axis=1)
+        assert (ov[:, cols].sum(axis=1) == vols).all()

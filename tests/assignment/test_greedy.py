@@ -1,0 +1,80 @@
+"""Tests for greedy locality placement."""
+
+import numpy as np
+import pytest
+
+from repro.assignment import greedy_placement
+from repro.baselines import data_parallel_strategy
+from repro.core.exceptions import SimulationError
+from repro.core.strategy import Strategy
+from repro.models import mlp
+from tests.conftest import build_dag
+
+
+class TestGreedyPlacement:
+    def test_valid_permutations(self):
+        g = mlp(batch=16, hidden=(32,))
+        s = data_parallel_strategy(g, 4)
+        pl = greedy_placement(g, s, 4)
+        pl.validate(g)
+        for name in g.node_names:
+            assert sorted(pl.devices[name].tolist()) == [0, 1, 2, 3]
+
+    def test_aligned_chain_stays_in_place(self):
+        """Identical consecutive configs must map matching shards to the
+        same device (zero-transfer placement exists and greedy finds it)."""
+        g = build_dag(4, [])
+        s = Strategy({n: (4, 1) for n in g.node_names})
+        pl = greedy_placement(g, s, 4)
+        first = pl.devices["n0"]
+        for n in g.node_names[1:]:
+            assert np.array_equal(pl.devices[n], first)
+
+    def test_serial_nodes_use_device_zero_by_default(self):
+        g = build_dag(2, [])
+        s = Strategy({n: (1, 1) for n in g.node_names})
+        pl = greedy_placement(g, s, 4)
+        assert pl.devices["n0"].tolist() == [0]
+        # n1 should co-locate with its producer.
+        assert pl.devices["n1"].tolist() == [0]
+
+    def test_too_many_shards(self):
+        g = build_dag(2, [])
+        s = Strategy({n: (4, 1) for n in g.node_names})
+        with pytest.raises(SimulationError, match="exceed"):
+            greedy_placement(g, s, 2)
+
+    def test_mixed_configs_still_bijective(self):
+        g = mlp(batch=16, hidden=(32, 32))
+        assignment = {}
+        for op in g:
+            cfg = [1] * op.rank
+            cfg[0] = 2 if op.name != "fc2" else 1
+            if op.name == "fc2":
+                cfg[1] = 4
+            assignment[op.name] = tuple(cfg)
+        s = Strategy(assignment)
+        pl = greedy_placement(g, s, 4)
+        pl.validate(g)
+
+    def test_device_of(self):
+        g = build_dag(2, [])
+        s = Strategy({n: (2, 1) for n in g.node_names})
+        pl = greedy_placement(g, s, 2)
+        assert pl.device_of("n0", 0) in (0, 1)
+
+    def test_validate_catches_duplicates(self):
+        g = build_dag(2, [])
+        s = Strategy({n: (2, 1) for n in g.node_names})
+        pl = greedy_placement(g, s, 2)
+        pl.devices["n0"][:] = 0
+        with pytest.raises(SimulationError, match="two shards"):
+            pl.validate(g)
+
+    def test_validate_catches_missing(self):
+        g = build_dag(2, [])
+        s = Strategy({n: (1, 1) for n in g.node_names})
+        pl = greedy_placement(g, s, 2)
+        del pl.devices["n1"]
+        with pytest.raises(SimulationError, match="no placement"):
+            pl.validate(g)

@@ -1,0 +1,133 @@
+"""Tests for data-parallel, expert, and random baselines."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    auto_expert_strategy,
+    data_parallel_strategy,
+    mesh_tf_transformer_expert,
+    owt_strategy,
+    random_search,
+    rnn_pipeline_expert,
+)
+from repro.baselines._util import pow2_floor
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.exceptions import StrategyError
+from repro.core.machine import GTX1080TI
+from repro.models import alexnet, mlp, rnnlm, transformer
+
+
+class TestUtil:
+    @pytest.mark.parametrize("x,expect", [(1, 1), (2, 2), (3, 2), (7, 4),
+                                          (8, 8), (1000, 512), (0, 1), (-5, 1)])
+    def test_pow2_floor(self, x, expect):
+        assert pow2_floor(x) == expect
+
+
+class TestDataParallel:
+    def test_splits_batch_only(self):
+        g = mlp(batch=64)
+        s = data_parallel_strategy(g, 8)
+        s.validate(g, 8)
+        for op in g:
+            cfg = s[op.name]
+            assert cfg[op.dim_index("b")] == 8
+            assert all(c == 1 for i, c in enumerate(cfg)
+                       if i != op.dim_index("b"))
+
+    def test_caps_at_batch(self):
+        g = mlp(batch=4)
+        s = data_parallel_strategy(g, 64)
+        assert s[g.node_names[0]][0] == 4
+
+    def test_valid_on_all_benchmarks(self):
+        for builder in (alexnet, rnnlm):
+            g = builder()
+            data_parallel_strategy(g, 16).validate(g, 16)
+
+
+class TestOWT:
+    def test_conv_data_fc_param(self):
+        g = alexnet()
+        s = owt_strategy(g, 8)
+        s.validate(g, 8)
+        conv1 = g.node("conv1")
+        assert s["conv1"][conv1.dim_index("b")] == 8
+        fc1 = g.node("fc1")
+        assert s["fc1"][fc1.dim_index("n")] == 8
+        assert s["fc1"][fc1.dim_index("b")] == 1
+
+    def test_rejects_unknown_kind(self):
+        g = rnnlm()
+        with pytest.raises(StrategyError):
+            owt_strategy(g, 8)
+
+
+class TestRNNExpert:
+    def test_layer_pipeline_plus_data(self):
+        g = rnnlm(layers=2)
+        s = rnn_pipeline_expert(g, 8)
+        s.validate(g, 8)
+        lstm = g.node("lstm")
+        cfg = s["lstm"]
+        assert cfg[lstm.dim_index("l")] == 2
+        assert cfg[lstm.dim_index("b")] == 4
+
+
+class TestMeshTFExpert:
+    def test_mesh_shape(self):
+        g = transformer(layers=2)
+        s = mesh_tf_transformer_expert(g, 16)
+        s.validate(g, 16)
+        attn = g.node("enc0_attn")
+        cfg = s["enc0_attn"]
+        assert cfg[attn.dim_index("b")] == 4
+        assert cfg[attn.dim_index("h")] == 4
+
+    def test_explicit_model_split(self):
+        g = transformer(layers=2)
+        s = mesh_tf_transformer_expert(g, 16, model_split=8)
+        attn = g.node("enc0_attn")
+        assert s["enc0_attn"][attn.dim_index("h")] == 8
+
+    def test_vocab_layers_split(self):
+        g = transformer(layers=2)
+        s = mesh_tf_transformer_expert(g, 16)
+        proj = g.node("projection")
+        assert s["projection"][proj.dim_index("v")] == 4
+
+
+class TestAutoDispatch:
+    def test_dispatch(self):
+        assert auto_expert_strategy(rnnlm(), 8)["lstm"][0] == 2
+        g = transformer(layers=2)
+        attn = g.node("enc0_attn")
+        assert auto_expert_strategy(g, 8)[
+            "enc0_attn"][attn.dim_index("h")] > 1
+        g = alexnet()
+        assert auto_expert_strategy(g, 8)["fc1"][1] == 8
+
+
+class TestRandomSearch:
+    def test_deterministic_and_valid(self):
+        g = mlp(batch=16, hidden=(32,))
+        space = ConfigSpace.build(g, 4)
+        tables = CostModel(GTX1080TI).build_tables(g, space)
+        a = random_search(g, space, tables, samples=50,
+                          rng=np.random.default_rng(7))
+        b = random_search(g, space, tables, samples=50,
+                          rng=np.random.default_rng(7))
+        assert a.cost == b.cost
+        a.strategy.validate(g, 4)
+
+    def test_more_samples_never_worse(self):
+        g = mlp(batch=16, hidden=(32,))
+        space = ConfigSpace.build(g, 4)
+        tables = CostModel(GTX1080TI).build_tables(g, space)
+        few = random_search(g, space, tables, samples=5,
+                            rng=np.random.default_rng(3))
+        many = random_search(g, space, tables, samples=500,
+                             rng=np.random.default_rng(3))
+        assert many.cost <= few.cost

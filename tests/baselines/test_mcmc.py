@@ -1,0 +1,85 @@
+"""Tests for the FlexFlow-style MCMC comparator."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import MCMCOptions, mcmc_search
+from repro.baselines.expert import auto_expert_strategy
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.dp import find_best_strategy
+from repro.core.machine import GTX1080TI
+from repro.core.strategy import Strategy
+from repro.models import mlp
+
+
+@pytest.fixture(scope="module")
+def problem():
+    g = mlp(batch=32, hidden=(128, 128), classes=64)
+    space = ConfigSpace.build(g, 4)
+    tables = CostModel(GTX1080TI).build_tables(g, space)
+    return g, space, tables
+
+
+class TestMCMC:
+    def test_never_worse_than_init(self, problem):
+        g, space, tables = problem
+        init = auto_expert_strategy(g, 4)
+        res = mcmc_search(g, space, tables, init=init,
+                          rng=np.random.default_rng(0),
+                          options=MCMCOptions(max_iters=3000))
+        assert res.cost <= init.cost(tables) + 1e-9
+
+    def test_deterministic_under_seed(self, problem):
+        g, space, tables = problem
+        opts = MCMCOptions(max_iters=2000)
+        a = mcmc_search(g, space, tables, rng=np.random.default_rng(5),
+                        options=opts)
+        b = mcmc_search(g, space, tables, rng=np.random.default_rng(5),
+                        options=opts)
+        assert a.cost == b.cost
+        assert a.strategy.assignment == b.strategy.assignment
+
+    def test_reaches_near_optimum_on_small_problem(self, problem):
+        g, space, tables = problem
+        best = find_best_strategy(g, space, tables)
+        res = mcmc_search(g, space, tables,
+                          rng=np.random.default_rng(1),
+                          options=MCMCOptions(max_iters=30_000))
+        assert res.cost <= 1.3 * best.cost
+
+    def test_never_better_than_dp(self, problem):
+        """The DP is exact; MCMC can at best tie it."""
+        g, space, tables = problem
+        best = find_best_strategy(g, space, tables)
+        for seed in range(3):
+            res = mcmc_search(g, space, tables,
+                              rng=np.random.default_rng(seed),
+                              options=MCMCOptions(max_iters=5000))
+            assert res.cost >= best.cost - 1e-9
+
+    def test_stopping_rule_bounds_iterations(self, problem):
+        g, space, tables = problem
+        res = mcmc_search(g, space, tables, rng=np.random.default_rng(2),
+                          options=MCMCOptions(max_iters=100, min_iters=10))
+        assert res.stats["iterations"] <= 100
+
+    def test_reported_cost_is_exact(self, problem):
+        g, space, tables = problem
+        res = mcmc_search(g, space, tables, rng=np.random.default_rng(3),
+                          options=MCMCOptions(max_iters=2000))
+        assert res.strategy.cost(tables) == pytest.approx(res.cost)
+
+    def test_serial_init_default(self, problem):
+        g, space, tables = problem
+        res = mcmc_search(g, space, tables, rng=np.random.default_rng(4),
+                          options=MCMCOptions(max_iters=500, min_iters=500))
+        serial = Strategy.serial(g)
+        assert res.cost <= serial.cost(tables) + 1e-9
+
+    def test_time_budget(self, problem):
+        g, space, tables = problem
+        res = mcmc_search(g, space, tables, rng=np.random.default_rng(6),
+                          options=MCMCOptions(max_iters=10**7, min_iters=10**7,
+                                              time_budget=0.2))
+        assert res.elapsed < 5.0

@@ -1,0 +1,90 @@
+"""Tests for the list-scheduling event engine."""
+
+import pytest
+
+from repro.cluster.events import ListScheduler, Task
+from repro.core.exceptions import SimulationError
+
+
+def t(kind="w", label="t", res=(("gpu", 0),), dur=1.0, deps=()):
+    return Task(kind=kind, label=label, resources=res, duration=dur,
+                deps=tuple(deps))
+
+
+class TestScheduler:
+    def test_empty(self):
+        assert ListScheduler().run() == (0.0, [])
+
+    def test_serialization_on_shared_resource(self):
+        s = ListScheduler()
+        s.add(t(dur=2.0))
+        s.add(t(dur=3.0))
+        makespan, _ = s.run()
+        assert makespan == pytest.approx(5.0)
+
+    def test_parallel_on_distinct_resources(self):
+        s = ListScheduler()
+        s.add(t(dur=2.0, res=(("gpu", 0),)))
+        s.add(t(dur=3.0, res=(("gpu", 1),)))
+        makespan, _ = s.run()
+        assert makespan == pytest.approx(3.0)
+
+    def test_dependencies_respected(self):
+        s = ListScheduler()
+        a = s.add(t(dur=2.0, res=(("gpu", 0),)))
+        s.add(t(dur=1.0, res=(("gpu", 1),), deps=[a]))
+        makespan, trace = s.run()
+        assert makespan == pytest.approx(3.0)
+        by_tid = {r.tid: r for r in trace}
+        assert by_tid[1].start == pytest.approx(2.0)
+
+    def test_multi_resource_task_blocks_both(self):
+        s = ListScheduler()
+        s.add(t(dur=2.0, res=(("nic", 0), ("nic", 1))))
+        s.add(t(dur=1.0, res=(("nic", 1),)))
+        makespan, _ = s.run()
+        assert makespan == pytest.approx(3.0)
+
+    def test_overlap_comm_compute(self):
+        """Distinct resource classes run concurrently — the mechanism that
+        hides gradient sync behind backward compute."""
+        s = ListScheduler()
+        a = s.add(t(dur=1.0, res=(("gpu", 0),)))
+        s.add(t(kind="sync", dur=5.0, res=(("nic", 0),), deps=[a]))
+        s.add(t(dur=4.0, res=(("gpu", 0),), deps=[a]))
+        makespan, _ = s.run()
+        assert makespan == pytest.approx(6.0)  # not 10
+
+    def test_unknown_dep_rejected(self):
+        s = ListScheduler()
+        with pytest.raises(SimulationError):
+            s.add(t(deps=[5]))
+
+    def test_negative_duration_rejected(self):
+        s = ListScheduler()
+        with pytest.raises(SimulationError):
+            s.add(t(dur=-1.0))
+
+    def test_zero_duration_ok(self):
+        s = ListScheduler()
+        s.add(t(dur=0.0))
+        assert s.run()[0] == 0.0
+
+    def test_trace_complete(self):
+        s = ListScheduler()
+        for _ in range(5):
+            s.add(t())
+        makespan, trace = s.run()
+        assert len(trace) == 5
+        assert makespan == pytest.approx(5.0)
+
+    def test_earliest_ready_priority(self):
+        """A task that becomes ready earlier is scheduled first on a
+        contended resource."""
+        s = ListScheduler()
+        a = s.add(t(dur=1.0, res=(("gpu", 1),)))
+        late = s.add(t(dur=10.0, res=(("gpu", 0),), deps=[a]))
+        early = s.add(t(dur=1.0, res=(("gpu", 0),)))
+        _, trace = s.run()
+        by_tid = {r.tid: r for r in trace}
+        assert by_tid[early].start < by_tid[late].start

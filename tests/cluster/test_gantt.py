@@ -1,0 +1,39 @@
+"""Tests for the ASCII Gantt renderer."""
+
+from repro.baselines import data_parallel_strategy
+from repro.cluster import render_gantt, simulate_step
+from repro.cluster.trace import TraceRecord
+from repro.core.machine import GTX1080TI
+from repro.models import mlp
+
+
+class TestGantt:
+    def test_empty(self):
+        assert render_gantt([], 0.0) == ""
+
+    def test_rows_and_width(self):
+        trace = [TraceRecord(0, "fwd", "t", (("gpu", 0),), 0.0, 1.0),
+                 TraceRecord(1, "bwd", "t", (("gpu", 1),), 0.0, 2.0)]
+        text = render_gantt(trace, 2.0, width=10)
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].count("F") == 5  # first half of the row
+        assert "B" * 10 in lines[1]
+
+    def test_idle_rendered_as_dots(self):
+        trace = [TraceRecord(0, "fwd", "t", (("gpu", 0),), 0.5, 1.0)]
+        text = render_gantt(trace, 1.0, width=10)
+        assert text.count(".") == 5
+
+    def test_real_simulation_renders(self):
+        g = mlp(batch=32, hidden=(128,))
+        rep = simulate_step(g, data_parallel_strategy(g, 4), GTX1080TI, 4,
+                            keep_trace=True)
+        text = render_gantt(rep.trace, rep.step_time, width=60,
+                            resources=[("gpu", 0), ("tx", 0)])
+        assert "B" in text and "g" in text  # compute + gradient sync rows
+
+    def test_resource_filter(self):
+        trace = [TraceRecord(0, "fwd", "t", (("gpu", 0),), 0.0, 1.0)]
+        text = render_gantt(trace, 1.0, width=5, resources=[("gpu", 1)])
+        assert text.count(".") == 5

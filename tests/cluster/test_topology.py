@@ -1,0 +1,46 @@
+"""Tests for cluster topology and link classes."""
+
+import pytest
+
+from repro.cluster.topology import ClusterTopology, LinkKind
+from repro.core.exceptions import SimulationError
+from repro.core.machine import GTX1080TI, RTX2080TI
+
+
+class TestTopology:
+    def test_node_packing(self):
+        topo = ClusterTopology(GTX1080TI, 16)
+        assert topo.num_nodes == 2
+        assert topo.node_of(0) == 0 and topo.node_of(7) == 0
+        assert topo.node_of(8) == 1
+
+    def test_device_bounds(self):
+        topo = ClusterTopology(GTX1080TI, 4)
+        with pytest.raises(SimulationError):
+            topo.node_of(4)
+        with pytest.raises(SimulationError):
+            ClusterTopology(GTX1080TI, 0)
+
+    def test_link_kinds(self):
+        topo = ClusterTopology(GTX1080TI, 16)
+        assert topo.link_kind(3, 3) is LinkKind.LOCAL
+        assert topo.link_kind(0, 7) is LinkKind.INTRA_P2P
+        assert topo.link_kind(0, 8) is LinkKind.INTER
+
+    def test_no_p2p_machine(self):
+        topo = ClusterTopology(RTX2080TI, 8)
+        assert topo.link_kind(0, 1) is LinkKind.INTRA_HOST
+        # Host staging halves the effective intra bandwidth.
+        assert topo.bandwidth(0, 1) == RTX2080TI.intra_node_bw / 2
+
+    def test_bandwidths_ordered(self):
+        topo = ClusterTopology(GTX1080TI, 16)
+        assert topo.bandwidth(0, 0) == float("inf")
+        assert topo.bandwidth(0, 1) > topo.bandwidth(0, 8)
+
+    def test_transfer_time(self):
+        topo = ClusterTopology(GTX1080TI, 16)
+        assert topo.transfer_time(0, 0, 0) == 0.0
+        assert topo.transfer_time(1e9, 3, 3) == 0.0
+        t = topo.transfer_time(GTX1080TI.inter_node_bw, 0, 8)
+        assert t == pytest.approx(1.0)

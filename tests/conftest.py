@@ -1,0 +1,111 @@
+"""Shared fixtures and graph generators for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import strategies as st
+
+from repro.core.dims import Dim
+from repro.core.graph import CompGraph, Edge
+from repro.core.tensors import TensorSpec
+from repro.ops.base import OpSpec
+
+
+def make_test_op(name: str, *, batch: int = 4, width: int = 6, n_in: int = 1,
+                 with_param: bool = False, reduction: bool = False) -> OpSpec:
+    """A generic two-dim operator for structural tests.
+
+    All test ops share the ``(b, m)`` output signature so they can be
+    wired into arbitrary DAGs; ``reduction`` adds a contracted dim ``k``.
+    """
+    dims = [Dim("b", batch), Dim("m", width)]
+    red: frozenset[str] = frozenset()
+    if reduction:
+        dims.append(Dim("k", width))
+        red = frozenset({"k"})
+    inputs = {f"in{i}": TensorSpec(axes=("b", "m")) for i in range(n_in)}
+    if with_param:
+        inputs["w"] = TensorSpec(axes=("m",) + (("k",) if reduction else ()),
+                                 is_param=True)
+    return OpSpec(
+        name=name,
+        kind="test",
+        dims=tuple(dims),
+        inputs=inputs,
+        outputs={"out": TensorSpec(axes=("b", "m"))},
+        reduction_dims=red,
+        flops_per_point=2.0,
+    )
+
+
+def build_dag(n_nodes: int, extra_edges: list[tuple[int, int]],
+              *, batch: int = 4, width: int = 6,
+              param_mask: int = 0, reduction_mask: int = 0) -> CompGraph:
+    """A weakly connected DAG: a spine 0->1->...->n plus ``extra_edges``.
+
+    ``extra_edges`` are (src, dst) index pairs with src < dst; each node's
+    input ports are allocated in edge-insertion order.
+    """
+    in_count = [0] * n_nodes
+    edges: list[tuple[int, int]] = []
+    for i in range(1, n_nodes):
+        edges.append((i - 1, i))
+        in_count[i] += 1
+    for s, d in extra_edges:
+        if 0 <= s < d < n_nodes:
+            edges.append((s, d))
+            in_count[d] += 1
+    nodes = [
+        make_test_op(f"n{i}", batch=batch, width=width,
+                     n_in=max(in_count[i], 1),
+                     with_param=bool(param_mask >> i & 1),
+                     reduction=bool(reduction_mask >> i & 1))
+        for i in range(n_nodes)
+    ]
+    g = CompGraph(nodes)
+    used = [0] * n_nodes
+    for s, d in edges:
+        g.add_edge(Edge(f"n{s}", "out", f"n{d}", f"in{used[d]}"))
+        used[d] += 1
+    return g
+
+
+@st.composite
+def small_dags(draw, max_nodes: int = 6):
+    """Hypothesis strategy producing small random weakly connected DAGs."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    pairs = [(s, d) for s in range(n) for d in range(s + 1, n) if d - s > 1]
+    extra = draw(st.lists(st.sampled_from(pairs), max_size=4, unique=True)) \
+        if pairs else []
+    param_mask = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    reduction_mask = draw(st.integers(min_value=0, max_value=(1 << n) - 1))
+    return build_dag(n, extra, param_mask=param_mask,
+                     reduction_mask=reduction_mask)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def chain3() -> CompGraph:
+    """A three-node path graph of test ops."""
+    return build_dag(3, [])
+
+
+@pytest.fixture
+def diamond() -> CompGraph:
+    """A diamond: n0 -> n1, n2 -> n3."""
+    g = CompGraph([
+        make_test_op("n0"),
+        make_test_op("n1"),
+        make_test_op("n2"),
+        make_test_op("n3", n_in=2),
+    ])
+    g.add_edge(Edge("n0", "out", "n1", "in0"))
+    g.add_edge(Edge("n0", "out", "n2", "in0"))
+    g.add_edge(Edge("n1", "out", "n3", "in0"))
+    g.add_edge(Edge("n2", "out", "n3", "in1"))
+    return g

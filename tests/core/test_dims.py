@@ -1,0 +1,96 @@
+"""Unit tests for dimension and shard arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.dims import Dim, ceil_div, shard_extent, shard_volume
+from repro.core.exceptions import ConfigError
+
+
+class TestDim:
+    def test_basic(self):
+        d = Dim("b", 128)
+        assert d.name == "b" and d.size == 128 and d.splittable
+
+    def test_unsplittable(self):
+        assert not Dim("r", 3, splittable=False).splittable
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_invalid_size(self, size):
+        with pytest.raises(ConfigError):
+            Dim("x", size)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Dim("b", 4).size = 8  # type: ignore[misc]
+
+
+class TestCeilDiv:
+    @pytest.mark.parametrize("a,b,expect", [(10, 2, 5), (10, 3, 4), (1, 4, 1),
+                                            (7, 7, 1), (8, 16, 1)])
+    def test_values(self, a, b, expect):
+        assert ceil_div(a, b) == expect
+
+    @given(st.integers(1, 10_000), st.integers(1, 100))
+    def test_matches_math(self, a, b):
+        import math
+        assert ceil_div(a, b) == math.ceil(a / b)
+
+
+class TestShardExtent:
+    def test_scalar(self):
+        assert shard_extent(10, 3) == 4
+
+    def test_array(self):
+        out = shard_extent(np.array([10, 8]), np.array([3, 2]))
+        assert out.tolist() == [4, 4]
+
+    @given(st.integers(1, 1000), st.integers(1, 64))
+    def test_covers_all_elements(self, size, split):
+        ext = int(shard_extent(size, split))
+        assert ext * split >= size
+        assert ext >= 1
+
+
+class TestShardVolume:
+    def test_exact_division(self):
+        assert shard_volume([8, 6], [[2, 3]]).tolist() == [8]
+
+    def test_ceil_rounding(self):
+        # 7/2 -> 4, 5/3 -> 2
+        assert shard_volume([7, 5], [[2, 3]]).tolist() == [8]
+
+    def test_batch_of_configs(self):
+        out = shard_volume([8, 8], [[1, 1], [2, 2], [8, 8]])
+        assert out.tolist() == [64, 16, 1]
+
+    def test_broadcast_cross_product(self):
+        splits = np.ones((3, 2, 2), dtype=np.int64)
+        assert shard_volume([4, 4], splits).shape == (3, 2)
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ConfigError):
+            shard_volume([4, 4], [[2]])
+
+    def test_nonpositive_split_raises(self):
+        with pytest.raises(ConfigError):
+            shard_volume([4], [[0]])
+
+    def test_shape_must_be_1d(self):
+        with pytest.raises(ConfigError):
+            shard_volume([[4]], [[2]])
+
+    @given(st.lists(st.integers(1, 50), min_size=1, max_size=4).flatmap(
+        lambda shape: st.tuples(
+            st.just(shape),
+            st.lists(st.integers(1, 8), min_size=len(shape),
+                     max_size=len(shape)))))
+    def test_bounds(self, shape_splits):
+        shape, splits = shape_splits
+        vol = int(shard_volume(shape, [splits])[0])
+        total = int(np.prod(shape))
+        parts = int(np.prod(splits))
+        assert vol >= -(-total // parts)  # at least the even share
+        assert vol <= total

@@ -1,0 +1,146 @@
+"""Tests for FINDBESTSTRATEGY — including the Theorem 1 property.
+
+The tensorized DP must return exactly the brute-force optimum (Theorem 1)
+for any vertex ordering, with the extracted strategy achieving the
+reported cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.dp import dp_table_profile, find_best_strategy
+from repro.core.exceptions import SearchResourceError
+from repro.core.machine import GTX1080TI, UNIT_BALANCE
+from repro.core.naive import brute_force_strategy, naive_bf_strategy
+from repro.core.sequencer import SequencedGraph, generate_seq
+from tests.conftest import build_dag, small_dags
+
+
+def setup(graph, p=4, machine=GTX1080TI, mode="all"):
+    space = ConfigSpace.build(graph, p, mode=mode)
+    tables = CostModel(machine).build_tables(graph, space)
+    return space, tables
+
+
+class TestCorrectness:
+    def test_chain_matches_brute_force(self, chain3):
+        space, tables = setup(chain3)
+        dp = find_best_strategy(chain3, space, tables)
+        bf = brute_force_strategy(chain3, space, tables)
+        assert dp.cost == pytest.approx(bf.cost)
+
+    def test_diamond_matches_brute_force(self, diamond):
+        space, tables = setup(diamond)
+        dp = find_best_strategy(diamond, space, tables)
+        bf = brute_force_strategy(diamond, space, tables)
+        assert dp.cost == pytest.approx(bf.cost)
+
+    def test_extracted_strategy_achieves_cost(self, diamond):
+        space, tables = setup(diamond)
+        dp = find_best_strategy(diamond, space, tables)
+        dp.strategy.validate(diamond, space.p)
+        assert dp.strategy.cost(tables) == pytest.approx(dp.cost)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags(max_nodes=5), st.sampled_from([2, 3, 4]))
+    def test_theorem1_random_graphs(self, graph, p):
+        """DP == naive BF DP == brute force on random graphs."""
+        space, tables = setup(graph, p=p)
+        dp = find_best_strategy(graph, space, tables)
+        nv = naive_bf_strategy(graph, space, tables)
+        bf = brute_force_strategy(graph, space, tables)
+        assert dp.cost == pytest.approx(bf.cost, rel=1e-12)
+        assert nv.cost == pytest.approx(bf.cost, rel=1e-12)
+        assert dp.strategy.cost(tables) == pytest.approx(dp.cost, rel=1e-12)
+        assert nv.strategy.cost(tables) == pytest.approx(nv.cost, rel=1e-12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=5), st.randoms(use_true_random=False))
+    def test_any_ordering_same_optimum(self, graph, rnd):
+        """Theorem 1 holds for arbitrary orderings, not just GENERATESEQ."""
+        space, tables = setup(graph)
+        ref = find_best_strategy(graph, space, tables).cost
+        order = list(graph.node_names)
+        rnd.shuffle(order)
+        alt = find_best_strategy(graph, space, tables, order=tuple(order))
+        assert alt.cost == pytest.approx(ref, rel=1e-12)
+
+    def test_chunked_evaluation_matches(self, diamond):
+        space, tables = setup(diamond)
+        ref = find_best_strategy(diamond, space, tables).cost
+        tiny = find_best_strategy(diamond, space, tables, chunk_cells=7)
+        assert tiny.cost == pytest.approx(ref)
+
+    def test_forest_supported(self):
+        from repro.core.graph import CompGraph
+        from tests.conftest import make_test_op
+        g = CompGraph([make_test_op("a"), make_test_op("b")])
+        space, tables = setup(g)
+        dp = find_best_strategy(g, space, tables)
+        bf = brute_force_strategy(g, space, tables)
+        assert dp.cost == pytest.approx(bf.cost)
+
+    def test_empty_graph(self):
+        from repro.core.graph import CompGraph
+        g = CompGraph()
+        space, tables = setup(g)
+        res = find_best_strategy(g, space, tables)
+        assert res.cost == 0.0 and len(res.strategy) == 0
+
+
+class TestResourceBudget:
+    def test_budget_exceeded_raises(self, diamond):
+        space, tables = setup(diamond)
+        with pytest.raises(SearchResourceError) as exc:
+            find_best_strategy(diamond, space, tables, memory_budget=64)
+        assert exc.value.budget_bytes == 64
+        assert exc.value.requested_bytes > 64
+
+    def test_generous_budget_ok(self, diamond):
+        space, tables = setup(diamond)
+        find_best_strategy(diamond, space, tables, memory_budget=1 << 28)
+
+
+class TestStats:
+    def test_stats_populated(self, diamond):
+        space, tables = setup(diamond)
+        res = find_best_strategy(diamond, space, tables)
+        assert res.stats["cells"] > 0
+        assert res.stats["vertices"] == 4
+        assert res.stats["k_max"] == space.max_size
+        assert res.method == "pase-dp"
+
+    def test_table_profile_matches_m(self, diamond):
+        space, _ = setup(diamond)
+        seq = SequencedGraph.build(diamond, generate_seq(diamond))
+        profile = dp_table_profile(seq, space)
+        assert len(profile) == 4
+        k = space.max_size
+        assert max(profile) <= k ** (seq.max_dependent_size + 1)
+
+
+class TestAgainstBaselines:
+    """The DP optimum can never lose to any heuristic strategy."""
+
+    def test_beats_data_parallel_and_serial(self):
+        from repro.baselines import data_parallel_strategy
+        from repro.core.strategy import Strategy
+        g = build_dag(4, [(0, 2), (1, 3)], param_mask=0b1111,
+                      reduction_mask=0b0110)
+        space, tables = setup(g, p=4)
+        best = find_best_strategy(g, space, tables)
+        assert best.cost <= data_parallel_strategy(g, 4).cost(tables) + 1e-9
+        assert best.cost <= Strategy.serial(g).cost(tables) + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_dags(max_nodes=5), st.randoms(use_true_random=False))
+    def test_beats_random_strategies(self, graph, rnd):
+        space, tables = setup(graph)
+        best = find_best_strategy(graph, space, tables)
+        for _ in range(5):
+            idx = {n: rnd.randrange(space.size(n)) for n in graph.node_names}
+            assert best.cost <= tables.strategy_cost(idx) + 1e-9

@@ -1,0 +1,42 @@
+"""Tests for machine profiles."""
+
+import pytest
+
+from repro.core.machine import GTX1080TI, RTX2080TI, UNIT_BALANCE, MachineSpec
+
+
+class TestMachineSpec:
+    def test_flop_byte_ratio(self):
+        m = MachineSpec("m", peak_flops=100.0, intra_node_bw=4.0,
+                        inter_node_bw=25.0)
+        assert m.link_bandwidth == pytest.approx(10.0)  # geometric mean
+        assert m.flop_byte_ratio == pytest.approx(10.0)
+
+    def test_unit_balance(self):
+        assert UNIT_BALANCE.flop_byte_ratio == 1.0
+
+    def test_nodes_for(self):
+        assert GTX1080TI.nodes_for(8) == 1
+        assert GTX1080TI.nodes_for(9) == 2
+        assert GTX1080TI.nodes_for(64) == 8
+
+    def test_paper_contrast(self):
+        """The 2080Ti system has higher peak but much lower balance —
+        the Fig. 6b premise."""
+        assert RTX2080TI.peak_flops > GTX1080TI.peak_flops
+        assert RTX2080TI.flop_byte_ratio > 1.5 * GTX1080TI.flop_byte_ratio
+        assert not RTX2080TI.p2p and GTX1080TI.p2p
+
+    @pytest.mark.parametrize("kw", [
+        {"peak_flops": 0.0}, {"intra_node_bw": -1.0}, {"devices_per_node": 0},
+    ])
+    def test_invalid(self, kw):
+        base = dict(name="m", peak_flops=1.0, intra_node_bw=1.0,
+                    inter_node_bw=1.0)
+        base.update(kw)
+        with pytest.raises(ValueError):
+            MachineSpec(**base)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            GTX1080TI.peak_flops = 1.0  # type: ignore[misc]

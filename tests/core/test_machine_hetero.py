@@ -1,0 +1,32 @@
+"""Tests for the heterogeneous-cluster collapse (paper Section V)."""
+
+import pytest
+
+from repro.core.machine import from_heterogeneous
+
+
+class TestHeterogeneous:
+    def test_weakest_links_used(self):
+        m = from_heterogeneous("mix",
+                               device_flops=[10e12, 14e12, 11e12],
+                               intra_bws=[12e9, 8e9],
+                               inter_bws=[10e9, 25e9])
+        assert m.peak_flops == 10e12
+        assert m.intra_node_bw == 8e9
+        assert m.inter_node_bw == 10e9
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            from_heterogeneous("x", [], [1.0], [1.0])
+
+    def test_usable_by_cost_model(self):
+        from repro.core.configs import ConfigSpace
+        from repro.core.costmodel import CostModel
+        from repro.core.dp import find_best_strategy
+        from repro.models import mlp
+        m = from_heterogeneous("mix", [5e12, 10e12], [6e9], [8e9])
+        g = mlp(batch=16, hidden=(64,))
+        space = ConfigSpace.build(g, 4)
+        tables = CostModel(m).build_tables(g, space)
+        res = find_best_strategy(g, space, tables)
+        assert res.cost > 0

@@ -1,0 +1,130 @@
+"""Cross-cutting property tests (hypothesis) on cost-model invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import ConfigSpace, enumerate_configs
+from repro.core.costmodel import CostModel
+from repro.core.dp import find_best_strategy
+from repro.core.machine import GTX1080TI, UNIT_BALANCE, MachineSpec
+from repro.core.strategy import Strategy
+from tests.conftest import build_dag, make_test_op, small_dags
+
+
+class TestLayerCostProperties:
+    @given(st.integers(1, 16))
+    def test_nonnegative_everywhere(self, p):
+        op = make_test_op("o", batch=8, width=8, with_param=True,
+                          reduction=True)
+        cm = CostModel(GTX1080TI)
+        costs = cm.layer_cost(op, enumerate_configs(op, p, mode="all"))
+        assert (costs > 0).all()
+
+    @given(st.integers(2, 16))
+    def test_serial_config_has_no_comm(self, p):
+        op = make_test_op("o", batch=8, width=8, with_param=True,
+                          reduction=True)
+        cm = CostModel(GTX1080TI)
+        comm = cm.layer_comm_bytes(op, np.array([[1, 1, 1]]))
+        assert comm[0] == 0.0
+
+    @given(st.floats(1e9, 1e15), st.floats(1e8, 1e12))
+    def test_balance_scales_comm_linearly(self, flops, bw):
+        op = make_test_op("o", batch=8, width=8, with_param=True)
+        m = MachineSpec("m", peak_flops=flops, intra_node_bw=bw,
+                        inter_node_bw=bw)
+        cfg = np.array([[8, 1]])
+        comm_flop = CostModel(m).layer_cost(op, cfg)[0] - \
+            CostModel(m, include_grad_sync=False).layer_cost(op, cfg)[0]
+        expect = CostModel(UNIT_BALANCE).layer_comm_bytes(op, cfg)[0] \
+            * m.flop_byte_ratio
+        assert comm_flop == pytest.approx(expect, rel=1e-9)
+
+
+class TestTransferProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_dags(max_nodes=3), st.integers(2, 6))
+    def test_tx_nonnegative_and_serial_free(self, graph, p):
+        space = ConfigSpace.build(graph, p, mode="all")
+        tables = CostModel(GTX1080TI).build_tables(graph, space)
+        for (u, v), mat in tables.pair_tx.items():
+            assert (mat >= 0).all()
+            # serial producer and consumer co-locate -> no transfer
+            assert mat[0, 0] == 0.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_dags(max_nodes=3), st.integers(2, 6))
+    def test_tx_zero_for_matching_tensor_splits(self, graph, p):
+        """Configurations inducing identical splits of the flowing tensor
+        transfer nothing (as long as neither side over-replicates)."""
+        cm = CostModel(GTX1080TI)
+        for e in graph.edges:
+            src, dst = graph.node(e.src), graph.node(e.dst)
+            out_spec = src.outputs[e.src_port]
+            in_spec = dst.inputs[e.dst_port]
+            cu = enumerate_configs(src, p, mode="all")
+            cv = enumerate_configs(dst, p, mode="all")
+            mat = cm.transfer_bytes_matrix(src, out_spec, dst, in_spec,
+                                           cu, cv)
+            su = out_spec.splits(src, cu)
+            sv = in_spec.splits(dst, cv)
+            rep_u = np.prod(cu, axis=1) // np.maximum(np.prod(su, axis=1), 1)
+            rep_v = np.prod(cv, axis=1) // np.maximum(np.prod(sv, axis=1), 1)
+            for i in range(cu.shape[0]):
+                for j in range(cv.shape[0]):
+                    if (su[i] == sv[j]).all() and rep_u[i] == rep_v[j]:
+                        assert mat[i, j] == 0.0
+
+
+class TestSearchProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(small_dags(max_nodes=5), st.integers(2, 4),
+           st.randoms(use_true_random=False))
+    def test_optimum_is_global_lower_bound(self, graph, p, rnd):
+        """No sampled strategy (valid per the space) undercuts the DP."""
+        space = ConfigSpace.build(graph, p, mode="all")
+        tables = CostModel(GTX1080TI).build_tables(graph, space)
+        best = find_best_strategy(graph, space, tables)
+        for _ in range(10):
+            idx = {n: rnd.randrange(space.size(n)) for n in graph.node_names}
+            assert tables.strategy_cost(idx) >= best.cost - 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_dags(max_nodes=4), st.integers(2, 4))
+    def test_richer_space_never_hurts(self, graph, p):
+        """pow2 ⊆ all (for pow2 p) implies optimum(all) <= optimum(pow2)."""
+        cm = CostModel(GTX1080TI)
+        costs = {}
+        for mode in ("pow2", "all"):
+            space = ConfigSpace.build(graph, p, mode=mode)
+            tables = cm.build_tables(graph, space)
+            costs[mode] = find_best_strategy(graph, space, tables).cost
+        assert costs["all"] <= costs["pow2"] + 1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(small_dags(max_nodes=4))
+    def test_more_devices_never_hurt(self, graph):
+        """C(v) grows monotonically with p, so the optimum can only
+        improve."""
+        cm = CostModel(GTX1080TI)
+        prev = np.inf
+        for p in (1, 2, 4):
+            space = ConfigSpace.build(graph, p)
+            tables = cm.build_tables(graph, space)
+            cost = find_best_strategy(graph, space, tables).cost
+            assert cost <= prev + 1e-9
+            prev = cost
+
+
+class TestStrategyCostDecomposition:
+    @settings(max_examples=20, deadline=None)
+    @given(small_dags(max_nodes=4), st.randoms(use_true_random=False))
+    def test_breakdown_sums_to_cost(self, graph, rnd):
+        space = ConfigSpace.build(graph, 4)
+        tables = CostModel(GTX1080TI).build_tables(graph, space)
+        idx = {n: rnd.randrange(space.size(n)) for n in graph.node_names}
+        strat = Strategy.from_indices(space, idx)
+        assert sum(strat.breakdown(tables).values()) == \
+            pytest.approx(strat.cost(tables))

@@ -1,0 +1,159 @@
+"""Tests for vertex orderings — including the Theorem 2 property."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.exceptions import GraphError
+from repro.core.sequencer import (
+    SequencedGraph,
+    breadth_first_seq,
+    connected_set_reference,
+    connected_subsets_reference,
+    dependent_set_reference,
+    generate_seq,
+    random_seq,
+)
+from tests.conftest import build_dag, small_dags
+
+
+class TestOrderings:
+    def test_generate_seq_is_permutation(self, diamond):
+        order = generate_seq(diamond)
+        assert sorted(order) == sorted(diamond.node_names)
+
+    def test_breadth_first_is_permutation(self, diamond):
+        order = breadth_first_seq(diamond)
+        assert sorted(order) == sorted(diamond.node_names)
+
+    def test_breadth_first_root(self, chain3):
+        assert breadth_first_seq(chain3, root="n2")[0] == "n2"
+        with pytest.raises(GraphError):
+            breadth_first_seq(chain3, root="zzz")
+
+    def test_random_seq(self, chain3, rng):
+        order = random_seq(chain3, rng)
+        assert sorted(order) == sorted(chain3.node_names)
+
+    def test_deterministic(self, diamond):
+        assert generate_seq(diamond) == generate_seq(diamond)
+
+    def test_empty_graph(self):
+        from repro.core.graph import CompGraph
+        assert generate_seq(CompGraph()) == ()
+        assert breadth_first_seq(CompGraph()) == ()
+
+
+class TestSequencedGraph:
+    def test_rejects_non_permutation(self, chain3):
+        with pytest.raises(GraphError):
+            SequencedGraph.build(chain3, ("n0", "n1"))
+
+    def test_path_graph_dependent_sets(self, chain3):
+        seq = SequencedGraph.build(chain3, ("n0", "n1", "n2"))
+        assert seq.max_dependent_size == 1
+        assert seq.dep == ((1,), (2,), ())
+
+    def test_connected_set_includes_self(self, diamond):
+        seq = SequencedGraph.build(diamond, generate_seq(diamond))
+        for i in range(len(seq)):
+            assert i in seq.connected_set(i)
+
+    def test_paper_example_structure(self):
+        # Fig. 2-like: vertex 4 (0-based) connected to components {0,1},{2}.
+        g = build_dag(6, [(0, 4), (2, 4)])
+        # order: n0 n1 n2 n3 n4 n5 (identity); X(4) spans everything <= 4.
+        seq = SequencedGraph.build(g, g.node_names)
+        comps = seq.connected_subsets(4)
+        assert sorted(map(tuple, comps)) == [(0, 1, 2, 3)]
+
+    def test_roots_weakly_connected(self, diamond):
+        seq = SequencedGraph.build(diamond, generate_seq(diamond))
+        assert seq.roots() == [len(seq) - 1]
+
+    def test_later_neighbors(self, chain3):
+        seq = SequencedGraph.build(chain3, ("n0", "n1", "n2"))
+        assert seq.later_neighbors(0) == (1,)
+        assert seq.later_neighbors(2) == ()
+
+
+class TestTheorem2:
+    """GENERATESEQ's incrementally maintained sets equal the definitional
+    D(i) = N(X(i)) ∩ V_>i — for the greedy ordering and arbitrary ones."""
+
+    def check(self, graph, order):
+        seq = SequencedGraph.build(graph, order)
+        for i in range(len(order)):
+            expect = dependent_set_reference(graph, order, i)
+            got = {order[j] for j in seq.dep[i]}
+            assert got == expect, f"D({i}) mismatch for order {order}"
+
+    def test_diamond_generate_seq(self, diamond):
+        self.check(diamond, generate_seq(diamond))
+
+    def test_diamond_breadth_first(self, diamond):
+        self.check(diamond, breadth_first_seq(diamond))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dags(), st.randoms(use_true_random=False))
+    def test_random_graphs_random_orders(self, graph, rnd):
+        order = list(graph.node_names)
+        rnd.shuffle(order)
+        self.check(graph, tuple(order))
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dags())
+    def test_random_graphs_generate_seq(self, graph):
+        self.check(graph, generate_seq(graph))
+
+
+class TestConnectedSets:
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags())
+    def test_connected_sets_match_reference(self, graph):
+        order = generate_seq(graph)
+        seq = SequencedGraph.build(graph, order)
+        for i in range(len(order)):
+            expect = connected_set_reference(graph, order, i)
+            got = {order[j] for j in seq.connected_set(i)}
+            assert got == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags())
+    def test_connected_subsets_match_reference(self, graph):
+        order = generate_seq(graph)
+        seq = SequencedGraph.build(graph, order)
+        for i in range(len(order)):
+            expect = {frozenset(c) for c in
+                      connected_subsets_reference(graph, order, i)}
+            got = {frozenset(order[j] for j in c)
+                   for c in seq.connected_subsets(i)}
+            assert got == expect
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags())
+    def test_subsets_partition_connected_set(self, graph):
+        """X(i) = union of S(i) plus v_i, pairwise disjoint (Theorem 1
+        proof's key fact)."""
+        order = generate_seq(graph)
+        seq = SequencedGraph.build(graph, order)
+        for i in range(len(order)):
+            comps = seq.connected_subsets(i)
+            union: set[int] = set()
+            for c in comps:
+                assert union.isdisjoint(c)
+                union |= set(c)
+            assert union | {i} == set(seq.connected_set(i))
+
+
+class TestOrderingQuality:
+    def test_generateseq_beats_bf_on_branchy_graph(self):
+        """On an Inception-like branchy graph GENERATESEQ's max dependent
+        set must not exceed breadth-first's."""
+        from repro.models import inception_v3
+        g = inception_v3()
+        gs = SequencedGraph.build(g, generate_seq(g))
+        bf = SequencedGraph.build(g, breadth_first_seq(g))
+        assert gs.max_dependent_size <= 3
+        assert bf.max_dependent_size >= 2 * gs.max_dependent_size

@@ -1,0 +1,118 @@
+"""Tests for Strategy objects and search results."""
+
+import pytest
+
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.exceptions import StrategyError
+from repro.core.machine import UNIT_BALANCE
+from repro.core.strategy import SearchResult, Strategy
+from tests.conftest import build_dag
+
+
+@pytest.fixture
+def graph():
+    return build_dag(3, [], param_mask=0b111)
+
+
+@pytest.fixture
+def oracle(graph):
+    space = ConfigSpace.build(graph, 4)
+    return space, CostModel(UNIT_BALANCE).build_tables(graph, space)
+
+
+class TestConstruction:
+    def test_serial(self, graph):
+        s = Strategy.serial(graph)
+        assert all(s[n] == (1, 1) for n in graph.node_names)
+        assert s.max_devices() == 1
+
+    def test_from_indices_roundtrip(self, graph, oracle):
+        space, _ = oracle
+        idx = {n: space.size(n) - 1 for n in graph.node_names}
+        s = Strategy.from_indices(space, idx)
+        assert s.to_indices(space) == idx
+
+    def test_tuples_coerced(self):
+        s = Strategy({"a": [2, 1]})
+        assert s["a"] == (2, 1)
+        assert isinstance(s["a"], tuple)
+
+    def test_missing_node(self):
+        with pytest.raises(StrategyError):
+            Strategy({})["zzz"]
+
+    def test_degree(self):
+        s = Strategy({"a": (2, 3)})
+        assert s.degree("a") == 6
+
+
+class TestValidation:
+    def test_valid(self, graph):
+        Strategy.serial(graph).validate(graph, 4)
+
+    def test_wrong_arity(self, graph):
+        s = Strategy({n: (1,) for n in graph.node_names})
+        with pytest.raises(StrategyError, match="arity"):
+            s.validate(graph, 4)
+
+    def test_exceeds_p(self, graph):
+        s = Strategy({n: (4, 2) for n in graph.node_names})
+        with pytest.raises(StrategyError, match="devices"):
+            s.validate(graph, 4)
+
+    def test_exceeds_dim(self, graph):
+        s = Strategy({n: (1, 16) for n in graph.node_names})
+        with pytest.raises(StrategyError, match="exceeds dim"):
+            s.validate(graph, 16)
+
+    def test_nonpositive_split(self, graph):
+        s = Strategy({n: (0, 1) for n in graph.node_names})
+        with pytest.raises(StrategyError, match="< 1"):
+            s.validate(graph, 4)
+
+    def test_unsplittable_dim(self):
+        from repro.ops import Conv2D
+        from repro.core.graph import CompGraph
+        g = CompGraph([Conv2D("c", batch=4, in_channels=4, out_channels=4,
+                              in_hw=(8, 8), kernel=3)])
+        cfg = [1] * 7
+        cfg[g.node("c").dim_index("r")] = 3
+        with pytest.raises(StrategyError, match="not splittable"):
+            Strategy({"c": tuple(cfg)}).validate(g, 8)
+
+    def test_unknown_nodes(self, graph):
+        s = Strategy({**{n: (1, 1) for n in graph.node_names}, "zzz": (1,)})
+        with pytest.raises(StrategyError, match="unknown"):
+            s.validate(graph, 4)
+
+
+class TestEvaluation:
+    def test_cost_and_breakdown_agree(self, graph, oracle):
+        space, tables = oracle
+        s = Strategy.from_indices(space, {n: 1 for n in graph.node_names})
+        assert sum(s.breakdown(tables).values()) == pytest.approx(s.cost(tables))
+
+
+class TestSerialization:
+    def test_json_roundtrip(self, graph):
+        s = Strategy({n: (2, 1) for n in graph.node_names})
+        assert Strategy.from_json(s.to_json()).assignment == s.assignment
+
+    def test_format_table(self, graph):
+        s = Strategy.serial(graph)
+        text = s.format_table(graph)
+        assert "n0" in text and "bm" in text
+
+    def test_format_only_parallel(self, graph):
+        s = Strategy({**{n: (1, 1) for n in graph.node_names}, }).assignment
+        s = dict(s)
+        s["n1"] = (2, 1)
+        text = Strategy(s).format_table(graph, only_parallel=True)
+        assert "n1" in text and "n0" not in text
+
+
+class TestSearchResult:
+    def test_repr(self):
+        r = SearchResult(Strategy({}), 1.0, 0.5, "x")
+        assert "x" in repr(r)

@@ -1,0 +1,93 @@
+"""Tests for the broadcast/chunked-minimization helpers."""
+
+import numpy as np
+import pytest
+
+from repro.core._tensorops import aligned_term, chunked_min_argmin
+
+
+class TestAlignedTerm:
+    def test_identity(self):
+        a = np.arange(6.0).reshape(2, 3)
+        out = aligned_term(a, (0, 1), (0, 1))
+        assert np.array_equal(out, a)
+
+    def test_inserts_singletons(self):
+        a = np.arange(3.0)
+        out = aligned_term(a, (5,), (2, 5, 9))
+        assert out.shape == (1, 3, 1)
+
+    def test_transposes_into_target_order(self):
+        a = np.arange(6.0).reshape(2, 3)  # axes (7, 4)
+        out = aligned_term(a, (7, 4), (4, 7))
+        assert out.shape == (3, 2)
+        assert np.array_equal(out, a.T)
+
+    def test_wrong_rank(self):
+        with pytest.raises(ValueError, match="axes"):
+            aligned_term(np.zeros((2, 2)), (1,), (1, 2))
+
+    def test_axis_not_in_target(self):
+        with pytest.raises(ValueError, match="not in target"):
+            aligned_term(np.zeros(2), (9,), (1, 2))
+
+    def test_broadcast_sum_semantics(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((4,))       # axis 0
+        b = rng.random((5,))       # axis 1
+        c = rng.random((4, 5))     # axes 0, 1
+        total = aligned_term(a, (0,), (0, 1)) + \
+            aligned_term(b, (1,), (0, 1)) + c
+        assert total.shape == (4, 5)
+        assert total[2, 3] == pytest.approx(a[2] + b[3] + c[2, 3])
+
+
+class TestChunkedMinArgmin:
+    def full_reference(self, terms, full_axes, table_shape, kc):
+        acc = np.zeros(table_shape + (kc,))
+        for arr, axes in terms:
+            acc = acc + aligned_term(arr, axes, full_axes)
+        return acc.min(-1), acc.argmin(-1)
+
+    def run_both(self, terms, full_axes, cfg_axis, kc, table_shape, chunk):
+        got = chunked_min_argmin(terms, full_axes, cfg_axis, kc,
+                                 table_shape, chunk)
+        ref = self.full_reference(terms, full_axes, table_shape, kc)
+        assert np.allclose(got[0], ref[0])
+        assert np.array_equal(got[1], ref[1])
+
+    def test_single_term(self):
+        rng = np.random.default_rng(1)
+        lc = rng.random(7)
+        self.run_both([(lc, (3,))], (3,), 3, 7, (), chunk=100)
+
+    def test_matches_unchunked(self):
+        rng = np.random.default_rng(2)
+        ka, kb, kc = 3, 4, 5
+        terms = [
+            (rng.random(kc), (9,)),
+            (rng.random((kc, ka)), (9, 1)),
+            (rng.random((ka, kb)), (1, 2)),
+            (rng.random((kb,)), (2,)),
+        ]
+        self.run_both(terms, (1, 2, 9), 9, kc, (ka, kb), chunk=10**9)
+
+    @pytest.mark.parametrize("chunk", [1, 2, 7, 13])
+    def test_chunk_sizes_agree(self, chunk):
+        rng = np.random.default_rng(3)
+        ka, kc = 4, 6
+        terms = [(rng.random(kc), (9,)), (rng.random((ka, kc)), (1, 9))]
+        self.run_both(terms, (1, 9), 9, kc, (ka,), chunk=chunk)
+
+    def test_no_terms_zero_cost(self):
+        table, arg = chunked_min_argmin([], (0,), 0, 3, (), 100)
+        assert table == 0.0 and arg == 0
+
+    def test_cfg_axis_must_be_last(self):
+        with pytest.raises(ValueError):
+            chunked_min_argmin([], (0, 1), 0, 3, (2,), 100)
+
+    def test_tie_breaks_to_lowest_index(self):
+        lc = np.zeros(4)
+        table, arg = chunked_min_argmin([(lc, (0,))], (0,), 0, 4, (), 2)
+        assert arg == 0

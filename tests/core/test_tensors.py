@@ -1,0 +1,157 @@
+"""Unit tests for tensor specifications."""
+
+import numpy as np
+import pytest
+
+from repro.core.dims import Dim
+from repro.core.exceptions import GraphError
+from repro.core.tensors import DTYPE_BYTES, TensorSpec
+from repro.ops.base import OpSpec
+
+
+def gemm_op(name="g", b=4, n=6, c=8) -> OpSpec:
+    return OpSpec(
+        name=name,
+        kind="fc",
+        dims=(Dim("b", b), Dim("n", n), Dim("c", c)),
+        inputs={
+            "in": TensorSpec(axes=("b", "c")),
+            "w": TensorSpec(axes=("c", "n"), is_param=True),
+        },
+        outputs={"out": TensorSpec(axes=("b", "n"))},
+        reduction_dims=frozenset({"c"}),
+        flops_per_point=2.0,
+    )
+
+
+class TestShapeVolume:
+    def test_shape(self):
+        op = gemm_op()
+        assert op.inputs["in"].shape(op) == (4, 8)
+        assert op.inputs["w"].shape(op) == (8, 6)
+        assert op.outputs["out"].shape(op) == (4, 6)
+
+    def test_volume_and_bytes(self):
+        op = gemm_op()
+        assert op.inputs["w"].volume(op) == 48
+        assert op.inputs["w"].nbytes(op) == 48 * DTYPE_BYTES
+
+    def test_scale_multiplies_volume_not_shape(self):
+        op = OpSpec(
+            name="s", kind="t", dims=(Dim("a", 5),),
+            inputs={"w": TensorSpec(axes=("a",), is_param=True, scale=3.0)},
+            outputs={"out": TensorSpec(axes=("a",))})
+        assert op.inputs["w"].volume(op) == 15.0
+        assert op.inputs["w"].shape(op) == (5,)
+
+
+class TestSplits:
+    def test_splits_map_axes_to_dims(self):
+        op = gemm_op()
+        cfgs = np.array([[2, 3, 4]])
+        assert op.inputs["in"].splits(op, cfgs).tolist() == [[2, 4]]
+        assert op.inputs["w"].splits(op, cfgs).tolist() == [[4, 3]]
+        assert op.outputs["out"].splits(op, cfgs).tolist() == [[2, 3]]
+
+    def test_shard_volume(self):
+        op = gemm_op()
+        cfgs = np.array([[1, 1, 1], [2, 1, 2]])
+        out = op.inputs["in"].shard_volume(op, cfgs)
+        assert out.tolist() == [32.0, 8.0]
+
+    def test_empty_axes(self):
+        op = OpSpec(name="e", kind="t", dims=(Dim("a", 4),),
+                    inputs={"in": TensorSpec(axes=())},
+                    outputs={"out": TensorSpec(axes=("a",))})
+        cfgs = np.array([[1], [4]])
+        assert op.inputs["in"].shard_volume(op, cfgs).tolist() == [1.0, 1.0]
+
+
+class TestReplication:
+    def test_weight_replication_over_batch(self):
+        op = gemm_op()
+        cfgs = np.array([[1, 1, 1], [4, 1, 1], [2, 3, 1]])
+        rep = op.inputs["w"].replication(op, cfgs)
+        assert rep.tolist() == [1, 4, 2]
+
+    def test_input_replication_over_out_channels(self):
+        op = gemm_op()
+        rep = op.inputs["in"].replication(op, np.array([[1, 6, 1]]))
+        assert rep.tolist() == [6]
+
+    def test_full_coverage_no_replication(self):
+        op = gemm_op()
+        rep = op.outputs["out"].replication(op, np.array([[2, 3, 1]]))
+        assert rep.tolist() == [1]
+
+
+class TestGradSyncVolume:
+    def test_dense_equals_shard(self):
+        op = gemm_op()
+        cfgs = np.array([[2, 1, 1]])
+        w = op.inputs["w"]
+        assert w.grad_sync_volume(op, cfgs).tolist() == \
+            w.shard_volume(op, cfgs).tolist()
+
+    def test_sparse_cap(self):
+        op = OpSpec(
+            name="emb", kind="t", dims=(Dim("b", 4), Dim("v", 100)),
+            inputs={"w": TensorSpec(axes=("v",), is_param=True,
+                                    sparse_grad_elements=10.0)},
+            outputs={"out": TensorSpec(axes=("b",))})
+        vol = op.inputs["w"].grad_sync_volume(op, np.array([[1, 1]]))
+        assert vol.tolist() == [10.0]
+
+    def test_sparse_cap_scales_with_shard_fraction(self):
+        op = OpSpec(
+            name="emb", kind="t", dims=(Dim("b", 4), Dim("v", 100)),
+            inputs={"w": TensorSpec(axes=("v",), is_param=True,
+                                    sparse_grad_elements=10.0)},
+            outputs={"out": TensorSpec(axes=("b",))})
+        vol = op.inputs["w"].grad_sync_volume(op, np.array([[1, 4]]))
+        assert vol.tolist() == [2.5]
+
+
+class TestAliases:
+    def make_alias_op(self) -> OpSpec:
+        return OpSpec(
+            name="a", kind="t", dims=(Dim("h", 10),),
+            inputs={"in": TensorSpec(axes=("hi",)),
+                    "fixed": TensorSpec(axes=("f",))},
+            outputs={"out": TensorSpec(axes=("h",))},
+            aliases={"hi": ("h", 21), "f": (None, 7)})
+
+    def test_alias_follows_primary_split(self):
+        op = self.make_alias_op()
+        splits = op.inputs["in"].splits(op, np.array([[2]]))
+        assert splits.tolist() == [[2]]
+        assert op.inputs["in"].shard_volume(op, np.array([[2]])).tolist() == [11.0]
+
+    def test_fixed_alias_never_splits(self):
+        op = self.make_alias_op()
+        splits = op.inputs["fixed"].splits(op, np.array([[5]]))
+        assert splits.tolist() == [[1]]
+
+    def test_replication_resolves_aliases(self):
+        op = self.make_alias_op()
+        # "in" covers h through its alias -> no replication.
+        assert op.inputs["in"].replication(op, np.array([[2]])).tolist() == [1]
+        # "fixed" covers nothing -> replicated across h splits.
+        assert op.inputs["fixed"].replication(op, np.array([[2]])).tolist() == [2]
+
+
+class TestValidation:
+    def test_unknown_axis(self):
+        with pytest.raises(GraphError, match="unknown axis"):
+            OpSpec(name="x", kind="t", dims=(Dim("a", 2),),
+                   outputs={"out": TensorSpec(axes=("zzz",))})
+
+    def test_repeated_axis(self):
+        with pytest.raises(GraphError, match="repeats"):
+            OpSpec(name="x", kind="t", dims=(Dim("a", 2),),
+                   outputs={"out": TensorSpec(axes=("a", "a"))})
+
+    def test_nonpositive_scale(self):
+        with pytest.raises(GraphError, match="scale"):
+            OpSpec(name="x", kind="t", dims=(Dim("a", 2),),
+                   outputs={"out": TensorSpec(axes=("a",), scale=0.0)})

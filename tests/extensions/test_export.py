@@ -1,0 +1,38 @@
+"""Tests for sharding-annotation export."""
+
+import json
+
+from repro.baselines import data_parallel_strategy
+from repro.extensions import sharding_spec, to_gshard_json
+from repro.models import mlp, rnnlm
+
+
+class TestShardingSpec:
+    def test_covers_all_nodes_and_ports(self):
+        g = mlp(batch=16, hidden=(32,))
+        spec = sharding_spec(g, data_parallel_strategy(g, 4))
+        assert set(spec) == set(g.node_names)
+        fc1 = spec["fc1"]
+        assert set(fc1["tensors"]) == {"in", "w", "bias", "out"}
+        assert fc1["devices"] == 4
+
+    def test_nontrivial_splits_only(self):
+        g = mlp(batch=16, hidden=(32,))
+        spec = sharding_spec(g, data_parallel_strategy(g, 4))
+        assert spec["fc1"]["iteration_splits"] == {"b": 4}
+
+    def test_param_replication_visible(self):
+        """The annotation exposes what GShard needs: data parallelism
+        replicates weights across all devices."""
+        g = mlp(batch=16, hidden=(32,))
+        spec = sharding_spec(g, data_parallel_strategy(g, 4))
+        w = spec["fc1"]["tensors"]["w"]
+        assert w["param"] and w["replication"] == 4
+        assert spec["fc1"]["tensors"]["in"]["replication"] == 1
+
+    def test_json_roundtrip(self):
+        g = rnnlm()
+        text = to_gshard_json(g, data_parallel_strategy(g, 8))
+        spec = json.loads(text)
+        assert spec["lstm"]["iteration_splits"] == {"b": 8}
+        assert spec["embedding"]["tensors"]["w"]["shape"] == [131072, 1024]

@@ -1,0 +1,116 @@
+"""Tests for convolution and pooling operators."""
+
+import numpy as np
+import pytest
+
+from repro.ops import Conv2D, Pool2D
+
+
+class TestConv2D:
+    def test_same_padding_shape(self):
+        c = Conv2D("c", batch=8, in_channels=3, out_channels=16,
+                   in_hw=(32, 32), kernel=3, stride=2, padding="same")
+        assert c.dim_size("h") == 16 and c.dim_size("w") == 16
+
+    def test_valid_padding_shape(self):
+        c = Conv2D("c", batch=8, in_channels=3, out_channels=16,
+                   in_hw=(227, 227), kernel=11, stride=4, padding="valid")
+        assert c.dim_size("h") == 55
+
+    def test_bad_padding(self):
+        with pytest.raises(ValueError):
+            Conv2D("c", batch=1, in_channels=1, out_channels=1,
+                   in_hw=(4, 4), kernel=3, padding="full")
+
+    def test_degenerate_spatial(self):
+        with pytest.raises(ValueError, match="spatial"):
+            Conv2D("c", batch=1, in_channels=1, out_channels=1,
+                   in_hw=(2, 2), kernel=3, padding="valid")
+
+    def test_asymmetric_kernel(self):
+        c = Conv2D("c", batch=2, in_channels=4, out_channels=4,
+                   in_hw=(17, 17), kernel=(1, 7))
+        assert c.dim_size("r") == 1 and c.dim_size("s") == 7
+
+    def test_input_aliases(self):
+        c = Conv2D("c", batch=8, in_channels=3, out_channels=16,
+                   in_hw=(32, 32), kernel=3, stride=2)
+        assert c.inputs["in"].shape(c) == (8, 3, 32, 32)
+        assert c.dim_size("hi") == 32 and c.dim_size("h") == 16
+
+    def test_kernel_unsplittable_by_default(self):
+        c = Conv2D("c", batch=8, in_channels=3, out_channels=16,
+                   in_hw=(32, 32), kernel=3)
+        assert not c.dims[c.dim_index("r")].splittable
+        c2 = Conv2D("c", batch=8, in_channels=3, out_channels=16,
+                    in_hw=(32, 32), kernel=3, splittable_kernel=True)
+        assert c2.dims[c2.dim_index("r")].splittable
+
+    def test_flops(self):
+        c = Conv2D("c", batch=2, in_channels=3, out_channels=4,
+                   in_hw=(8, 8), kernel=3, bias=False)
+        assert c.fwd_flops == 2.0 * 2 * 3 * 8 * 8 * 4 * 3 * 3
+
+    def test_reduction_dims(self):
+        c = Conv2D("c", batch=2, in_channels=3, out_channels=4,
+                   in_hw=(8, 8), kernel=3)
+        assert c.reduction_dims == {"c", "r", "s"}
+
+    def test_halo_zero_when_unsplit(self):
+        c = Conv2D("c", batch=8, in_channels=4, out_channels=4,
+                   in_hw=(16, 16), kernel=3)
+        cfg = np.array([[8, 1, 1, 1, 1, 1, 1]])
+        assert c.extra_comm_bytes(cfg).tolist() == [0.0]
+
+    def test_halo_positive_for_spatial_split(self):
+        c = Conv2D("c", batch=8, in_channels=4, out_channels=4,
+                   in_hw=(16, 16), kernel=3)
+        cfg_h = np.zeros((1, 7), dtype=np.int64) + 1
+        cfg_h[0, c.dim_index("h")] = 2
+        assert c.extra_comm_bytes(cfg_h)[0] > 0
+
+    def test_halo_zero_for_1x1_kernel(self):
+        c = Conv2D("c", batch=8, in_channels=4, out_channels=4,
+                   in_hw=(16, 16), kernel=1)
+        cfg = np.zeros((1, 7), dtype=np.int64) + 1
+        cfg[0, c.dim_index("h")] = 2
+        assert c.extra_comm_bytes(cfg)[0] == 0.0
+
+    def test_halo_scales_with_kernel(self):
+        def halo(k):
+            c = Conv2D("c", batch=8, in_channels=4, out_channels=4,
+                       in_hw=(16, 16), kernel=k)
+            cfg = np.zeros((1, 7), dtype=np.int64) + 1
+            cfg[0, c.dim_index("h")] = 2
+            return c.extra_comm_bytes(cfg)[0]
+        assert halo(5) > halo(3)
+
+
+class TestPool2D:
+    def test_default_stride_is_kernel(self):
+        p = Pool2D("p", batch=4, channels=8, in_hw=(16, 16), kernel=2)
+        assert p.dim_size("h") == 8
+
+    def test_channels_preserved(self):
+        p = Pool2D("p", batch=4, channels=8, in_hw=(16, 16), kernel=2)
+        assert p.outputs["out"].shape(p) == (4, 8, 8, 8)
+
+    def test_no_params(self):
+        p = Pool2D("p", batch=4, channels=8, in_hw=(16, 16), kernel=2)
+        assert not p.has_params
+        assert p.training_flop_factor == 2.0
+
+    def test_flops_proportional_to_window(self):
+        small = Pool2D("p", batch=4, channels=8, in_hw=(16, 16), kernel=2)
+        big = Pool2D("p", batch=4, channels=8, in_hw=(16, 16), kernel=(4, 4),
+                     stride=2)
+        assert big.flops_per_point > small.flops_per_point
+
+    def test_bad_padding(self):
+        with pytest.raises(ValueError):
+            Pool2D("p", batch=1, channels=1, in_hw=(4, 4), kernel=2,
+                   padding="wrap")
+
+    def test_degenerate(self):
+        with pytest.raises(ValueError, match="spatial"):
+            Pool2D("p", batch=1, channels=1, in_hw=(2, 2), kernel=4)

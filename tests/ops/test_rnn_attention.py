@@ -1,0 +1,102 @@
+"""Tests for the fused LSTM-stack and multi-head-attention vertices."""
+
+import numpy as np
+import pytest
+
+from repro.ops import LSTMStack, MultiheadAttention
+
+
+class TestLSTMStack:
+    def make(self, **kw):
+        args = dict(layers=2, batch=8, seq=16, in_dim=32, hidden=64)
+        args.update(kw)
+        return LSTMStack("lstm", **args)
+
+    def test_five_dim_space(self):
+        op = self.make()
+        assert op.dim_names == ("l", "b", "s", "d", "e")
+
+    def test_flops(self):
+        op = self.make()
+        assert op.fwd_flops == 8.0 * 2 * 8 * 16 * 64 * (32 + 64)
+
+    def test_param_volume_matches_gate_matrices(self):
+        op = self.make()
+        # 4 gates x (input-to-hidden + hidden-to-hidden) per layer.
+        assert op.param_volume() == pytest.approx(2 * 4 * (32 + 64) * 64)
+
+    def test_reduction_is_input_dim(self):
+        assert self.make().reduction_dims == {"d"}
+
+    def cfg(self, op, **splits):
+        c = [1] * op.rank
+        for k, v in splits.items():
+            c[op.dim_index(k)] = v
+        return np.array([c])
+
+    def test_handoff_costs(self):
+        op = self.make()
+        assert op.extra_comm_bytes(self.cfg(op))[0] == 0.0
+        assert op.extra_comm_bytes(self.cfg(op, s=2))[0] > 0     # time tiles
+        assert op.extra_comm_bytes(self.cfg(op, l=2))[0] > 0     # pipeline
+        assert op.extra_comm_bytes(self.cfg(op, b=8))[0] == 0.0  # pure DP
+
+    def test_hidden_split_gathers_state(self):
+        op = self.make()
+        e2 = op.extra_comm_bytes(self.cfg(op, e=2))[0]
+        e4 = op.extra_comm_bytes(self.cfg(op, e=4))[0]
+        assert 0 < e2 < e4  # more shards gather a larger missing share
+
+
+class TestMultiheadAttention:
+    def make(self, **kw):
+        args = dict(batch=8, seq=16, heads=4, q_channels=8)
+        args.update(kw)
+        return MultiheadAttention("attn", **args)
+
+    def test_space_is_bshck(self):
+        assert self.make().dim_names == ("b", "s", "h", "c", "k")
+
+    def test_model_width_fixed_alias(self):
+        op = self.make()
+        assert op.dim_size("dm") == 32
+        assert op.inputs["in"].shape(op) == (8, 16, 32)
+        # Head splits never split the activations.
+        cfg = np.array([[1, 1, 4, 1, 1]])
+        assert op.inputs["in"].splits(op, cfg).tolist() == [[1, 1, 1]]
+
+    def test_head_split_shards_params(self):
+        op = self.make()
+        cfg = np.array([[1, 1, 4, 1, 1]])
+        w = op.inputs["w"]
+        assert w.shard_volume(op, cfg)[0] == pytest.approx(w.volume(op) / 4)
+
+    def test_param_volume(self):
+        op = self.make()
+        assert op.param_volume() == pytest.approx(4 * 32 * 32)  # QKVO
+
+    def test_reduction_dims_trigger_block_allreduce(self):
+        assert self.make().reduction_dims == {"h", "c", "k"}
+
+    def test_seq_split_gathers_kv(self):
+        op = self.make()
+        none = op.extra_comm_bytes(np.array([[8, 1, 1, 1, 1]]))
+        s_split = op.extra_comm_bytes(np.array([[1, 4, 1, 1, 1]]))
+        assert none[0] == 0.0 and s_split[0] > 0
+
+    def test_cross_attention_memory_port(self):
+        op = self.make(cross_seq=24)
+        assert "memory" in op.inputs
+        assert op.inputs["memory"].shape(op) == (8, 24, 32)
+        # Memory sequence never splits (queries attend over all of it).
+        cfg = np.array([[2, 4, 1, 1, 1]])
+        assert op.inputs["memory"].splits(op, cfg).tolist() == [[2, 1, 1]]
+
+    def test_self_attention_has_no_memory(self):
+        assert "memory" not in self.make().inputs
+
+    def test_flops_include_scores(self):
+        short = self.make(seq=8)
+        long = self.make(seq=16)
+        # More than linear in seq (s^2 score term).
+        assert long.fwd_flops > 2 * short.fwd_flops

@@ -1,0 +1,90 @@
+"""Tests for the ``pase`` command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCLI:
+    def test_search(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "lstm" in out and "cost=" in out
+
+    def test_search_json_output(self, tmp_path, capsys):
+        path = tmp_path / "strategy.json"
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--json", str(path)]) == 0
+        data = json.loads(path.read_text())
+        assert "lstm" in data and len(data["lstm"]) == 5
+
+    def test_search_methods(self, capsys):
+        for method in ("data_parallel", "expert"):
+            assert main(["search", "--model", "rnnlm", "--p", "4",
+                         "--method", method]) == 0
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--methods", "data_parallel", "ours"]) == 0
+        out = capsys.readouterr().out
+        assert "samples/s" in out and "x vs dp" in out
+
+    def test_simulate_2080ti(self, capsys):
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--machine", "2080ti",
+                     "--methods", "data_parallel", "ours"]) == 0
+
+    def test_stats(self, capsys):
+        assert main(["stats", "--model", "alexnet", "--p", "4"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["nodes"] == 21
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--model", "lenet", "--p", "4"])
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestCLIExtensions:
+    def test_export(self, tmp_path, capsys):
+        path = tmp_path / "spec.json"
+        assert main(["export", "--model", "rnnlm", "--p", "4",
+                     "--out", str(path)]) == 0
+        import json as _json
+        spec = _json.loads(path.read_text())
+        assert "lstm" in spec and spec["lstm"]["devices"] >= 1
+
+    def test_export_stdout(self, capsys):
+        assert main(["export", "--model", "rnnlm", "--p", "4",
+                     "--method", "data_parallel"]) == 0
+        out = capsys.readouterr().out
+        assert '"iteration_splits"' in out
+
+    def test_pipeline(self, capsys):
+        assert main(["pipeline", "--model", "alexnet", "--p", "4",
+                     "--stages", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "stage 0" in out and "bottleneck" in out
+
+    def test_simulate_gantt(self, capsys):
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--methods", "ours", "--gantt"]) == 0
+        out = capsys.readouterr().out
+        assert "timeline" in out and "gpu0" in out
+
+
+class TestCLIExperimentCommands:
+    def test_table1_subcommand(self, capsys):
+        assert main(["table1", "--benchmarks", "rnnlm"]) == 0
+        out = capsys.readouterr().out
+        assert "rnnlm/Ours" in out and "rnnlm/BF" in out
+
+    def test_figure6_subcommand(self, capsys):
+        assert main(["figure6", "--benchmarks", "rnnlm"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6a" in out and "Figure 6b" in out
