@@ -8,7 +8,7 @@ and expert strategy generators, a FlexFlow-style MCMC comparator, a greedy
 device placer, and a discrete-event multi-node GPU cluster simulator.
 """
 
-from . import core, ops
+from . import core, ops, resilience
 from .core import (
     CompGraph,
     ConfigSpace,
@@ -56,4 +56,5 @@ __all__ = [
     "generate_seq",
     "naive_bf_strategy",
     "ops",
+    "resilience",
 ]

@@ -4,7 +4,9 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_time", "format_grid", "format_speedup_table"]
+__all__ = ["format_time", "format_grid", "format_speedup_table",
+           "format_fault_table", "format_resilience_report",
+           "format_replan_report"]
 
 
 def format_time(seconds: float | None) -> str:
@@ -27,6 +29,68 @@ def format_grid(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
         if j == 0:
             lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_fault_table(rows: Sequence[tuple[str, object]]) -> str:
+    """Healthy-vs-faulted comparison, one row per method.
+
+    ``rows`` pairs a method name with a faulted `SimulationReport`
+    (``baseline_step_time`` set); faults' added delay is broken down by
+    fault kind.
+    """
+    grid = []
+    for method, rep in rows:
+        by_fault: dict[str, float] = {}
+        for e in rep.fault_events:
+            by_fault[e.fault] = by_fault.get(e.fault, 0.0) + e.delay
+        detail = ", ".join(f"{k}+{v * 1e3:.2f}ms"
+                           for k, v in sorted(by_fault.items())) or "-"
+        healthy = rep.baseline_step_time
+        grid.append([
+            method,
+            f"{healthy * 1e3:.2f}" if healthy else "-",
+            f"{rep.step_time * 1e3:.2f}",
+            f"{rep.fault_slowdown:.2f}x",
+            len(rep.fault_events),
+            detail,
+        ])
+    return format_grid(
+        ["method", "healthy ms", "faulted ms", "slowdown", "events", "delay by fault"],
+        grid)
+
+
+def format_resilience_report(report) -> str:
+    """The retry chain of a resilient search as a text table."""
+    rows = []
+    for a in report.attempts:
+        outcome = "ok" if a.ok else (a.error or "failed")
+        rows.append([a.stage, a.detail, f"{a.elapsed:.3f}s", outcome])
+    table = format_grid(["stage", "parameters", "elapsed", "outcome"], rows)
+    verdict = ("completed after "
+               f"{report.retries} degradation retr{'y' if report.retries == 1 else 'ies'}"
+               if report.succeeded else "FAILED at every degradation rung")
+    return f"{table}\nresilient search: {verdict}"
+
+
+def format_replan_report(rep) -> str:
+    """Degraded-vs-replanned summary for an `ElasticReplanReport`."""
+    be = rep.breakeven_steps
+    be_text = "never (degraded is no slower)" if be == float("inf") \
+        else f"{be:.1f} steps"
+    lines = [
+        f"fail-stop on devices {list(rep.failed_devices)}: "
+        f"p={rep.old_p} -> {rep.new_p} survivors",
+        f"  healthy step   : {rep.healthy_step_time * 1e3:9.2f} ms",
+        f"  degraded step  : {rep.degraded_step_time * 1e3:9.2f} ms "
+        f"({rep.degraded_step_time / rep.healthy_step_time:.2f}x, keep old strategy)",
+        f"  replanned step : {rep.replanned_step_time * 1e3:9.2f} ms "
+        f"(new strategy on {rep.new_p} devices)",
+        f"  recovery cost  : {rep.recovery_cost:9.3f} s "
+        f"(restore {rep.restore_time:.3f} + lost work {rep.lost_work:.3f} "
+        f"+ re-search {rep.search_elapsed:.3f})",
+        f"  break-even     : {be_text}",
+    ]
     return "\n".join(lines)
 
 

@@ -62,11 +62,18 @@ def mcmc_search(
     *,
     init: Strategy | None = None,
     rng: np.random.Generator | None = None,
+    seed: int | None = None,
     options: MCMCOptions = MCMCOptions(),
 ) -> SearchResult:
-    """Run the MCMC search and return the best strategy discovered."""
+    """Run the MCMC search and return the best strategy discovered.
+
+    The proposal chain draws from ``rng`` when given, else from a fresh
+    generator seeded with ``seed`` (default 0) — two runs with the same
+    seed and inputs visit identical chains.
+    """
     t0 = time.perf_counter()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0 if seed is None else seed)
     names = list(graph.node_names)
     n = len(names)
     pos = {name: i for i, name in enumerate(names)}

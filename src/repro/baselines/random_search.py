@@ -21,10 +21,16 @@ def random_search(
     *,
     samples: int = 1_000,
     rng: np.random.Generator | None = None,
+    seed: int | None = None,
 ) -> SearchResult:
-    """Evaluate ``samples`` uniformly random strategies; return the best."""
+    """Evaluate ``samples`` uniformly random strategies; return the best.
+
+    Draws come from ``rng`` when given, else from a fresh generator
+    seeded with ``seed`` (default 0) — same seed, same samples.
+    """
     t0 = time.perf_counter()
-    rng = rng if rng is not None else np.random.default_rng(0)
+    if rng is None:
+        rng = np.random.default_rng(0 if seed is None else seed)
     names = list(graph.node_names)
     ksize = np.array([space.size(name) for name in names], dtype=np.int64)
     best_cost = np.inf

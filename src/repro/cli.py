@@ -40,11 +40,33 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
 def _cmd_search(args: argparse.Namespace) -> int:
     setup = build_setup(args.model, args.p, machine=_MACHINES[args.machine],
                         mode=args.mode)
-    result = search_with(setup, args.method, seed=args.seed)
+    resilience = None
+    if args.method in ("ours", "bf") and \
+            (args.resilient or args.memory_budget is not None):
+        from .core.dp import DEFAULT_MEMORY_BUDGET, find_best_strategy
+        from .core.sequencer import breadth_first_seq
+
+        budget = args.memory_budget if args.memory_budget is not None \
+            else DEFAULT_MEMORY_BUDGET
+        order = breadth_first_seq(setup.graph) if args.method == "bf" else None
+        if args.resilient:
+            from .resilience import resilient_find_best_strategy
+
+            result, resilience = resilient_find_best_strategy(
+                setup.graph, setup.space, setup.tables, order=order,
+                memory_budget=budget)
+        else:
+            result = find_best_strategy(setup.graph, setup.space,
+                                        setup.tables, order=order,
+                                        memory_budget=budget)
+    else:
+        result = search_with(setup, args.method, seed=args.seed)
     print(f"# {args.model} p={args.p} machine={args.machine} "
           f"method={args.method}")
     print(f"# cost={result.cost:.6e} FLOP-equivalents, "
           f"elapsed={result.elapsed:.3f}s")
+    if resilience is not None:
+        print(resilience.summary())
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(result.strategy.to_json())
@@ -57,6 +79,12 @@ def _cmd_search(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     machine = _MACHINES[args.machine]
     setup = build_setup(args.model, args.p, machine=machine, mode=args.mode)
+    plan = None
+    if args.faults:
+        from .resilience import FaultPlan
+
+        plan = FaultPlan.from_file(args.faults)
+        plan.validate(args.p)
     rows = []
     base = None
     for method in args.methods:
@@ -65,15 +93,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                             keep_trace=args.gantt)
         if method == "data_parallel":
             base = rep.throughput
-        rows.append((method, rep))
+        rows.append((method, rep, strat))
     print(f"# {args.model} p={args.p} machine={args.machine}")
-    for method, rep in rows:
+    for method, rep, _ in rows:
         speed = f"  ({rep.throughput / base:.2f}x vs dp)" if base else ""
         print(f"{method:16s} step={rep.step_time * 1e3:9.2f} ms  "
               f"{rep.throughput:10.1f} samples/s{speed}")
+    if plan is not None:
+        from .analysis.reporting import format_fault_table
+
+        faulted = [(method, simulate_step(setup.graph, strat, machine,
+                                          args.p, faults=plan))
+                   for method, _, strat in rows]
+        print(f"\n# fault-injected step ({args.faults})")
+        print(format_fault_table(faulted))
+        if args.ckpt_interval:
+            from .resilience import CheckpointPolicy, effective_step_time
+
+            policy = CheckpointPolicy(interval_steps=args.ckpt_interval,
+                                      checkpoint_time=args.ckpt_time,
+                                      restore_time=args.ckpt_restore)
+            print(f"\n# effective step time with checkpoints every "
+                  f"{args.ckpt_interval} steps, MTBF {args.mtbf_steps} steps")
+            for method, rep in faulted:
+                eff = effective_step_time(rep.step_time, policy,
+                                          1.0 / args.mtbf_steps)
+                print(f"{method:16s} {eff * 1e3:9.2f} ms/step")
+        if args.replan and plan.failed_devices():
+            from .resilience import CheckpointPolicy, elastic_replan
+
+            policy = None
+            if args.ckpt_interval:
+                policy = CheckpointPolicy(interval_steps=args.ckpt_interval,
+                                          checkpoint_time=args.ckpt_time,
+                                          restore_time=args.ckpt_restore)
+            method, _, strat = rows[0]
+            print(f"\n# elastic re-plan after fail-stop (strategy: {method})")
+            print(elastic_replan(setup.graph, strat, machine, args.p, plan,
+                                 mode=args.mode, policy=policy).summary())
     if args.gantt:
         from .cluster import render_gantt
-        for method, rep in rows:
+        for method, rep, _ in rows:
             show = [("gpu", d) for d in range(min(args.p, 4))] + \
                 [("tx", d) for d in range(min(args.p, 2))]
             print(f"\n# timeline: {method} "
@@ -144,6 +204,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_search.add_argument("--method", choices=METHODS, default="ours")
     p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument("--json", help="write the strategy to a JSON file")
+    p_search.add_argument("--resilient", action="store_true",
+                          help="degrade gracefully (chunk reduction, "
+                          "GENERATESEQ fallback, config coarsening) instead "
+                          "of failing on a blown memory budget")
+    p_search.add_argument("--memory-budget", type=int, default=None,
+                          help="DP byte budget (default 2 GiB)")
     p_search.set_defaults(fn=_cmd_search)
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
@@ -153,6 +219,20 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_sim.add_argument("--seed", type=int, default=0)
     p_sim.add_argument("--gantt", action="store_true",
                        help="render ASCII timelines of the simulated step")
+    p_sim.add_argument("--faults", metavar="PLAN.json",
+                       help="fault plan to inject into the simulated step")
+    p_sim.add_argument("--replan", action="store_true",
+                       help="with --faults containing fail-stops: price "
+                       "elastic re-planning on the survivor devices")
+    p_sim.add_argument("--ckpt-interval", type=int, default=0,
+                       help="checkpoint every N steps (0 = no checkpoints)")
+    p_sim.add_argument("--ckpt-time", type=float, default=0.5,
+                       help="seconds per checkpoint write")
+    p_sim.add_argument("--ckpt-restore", type=float, default=2.0,
+                       help="seconds to restore from a checkpoint")
+    p_sim.add_argument("--mtbf-steps", type=float, default=10_000.0,
+                       help="mean steps between failures for the "
+                       "effective-step-time model")
     p_sim.set_defaults(fn=_cmd_simulate)
 
     p_exp = subs.add_parser("export", help="emit GShard-style sharding "

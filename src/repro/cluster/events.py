@@ -67,8 +67,16 @@ class ListScheduler:
         self.tasks.append(task)
         return task.tid
 
-    def run(self) -> tuple[float, list[TraceRecord]]:
-        """Schedule everything; returns (makespan, per-task trace)."""
+    def run(self, faults=None) -> tuple[float, list[TraceRecord]]:
+        """Schedule everything; returns (makespan, per-task trace).
+
+        ``faults``, when given, is a perturbation hook with an
+        ``apply(task, start, duration) -> (start, duration)`` method
+        (see `repro.resilience.faults.FaultInjector`) called once per
+        task right before it is committed — fail-stop blackouts push the
+        start, stragglers/degraded links/transient retries stretch the
+        duration.  Running with ``faults=None`` is the healthy baseline.
+        """
         n = len(self.tasks)
         if n == 0:
             return 0.0, []
@@ -95,7 +103,10 @@ class ListScheduler:
             start = ready
             for r in task.resources:
                 start = max(start, resource_free.get(r, 0.0))
-            end = start + task.duration
+            duration = task.duration
+            if faults is not None:
+                start, duration = faults.apply(task, start, duration)
+            end = start + duration
             for r in task.resources:
                 resource_free[r] = end
             finish[tid] = end

@@ -48,7 +48,12 @@ UPDATE_FLOPS_PER_PARAM = 4.0
 
 @dataclass
 class SimulationReport:
-    """Outcome of one simulated training step."""
+    """Outcome of one simulated training step.
+
+    When the step ran under a fault plan, ``baseline_step_time`` holds
+    the fault-free makespan of the same task DAG and ``fault_events``
+    the perturbations applied (see `repro.resilience.faults`).
+    """
 
     step_time: float
     throughput: float
@@ -59,11 +64,25 @@ class SimulationReport:
     busy_by_kind: dict[str, float]
     device_utilization: dict[tuple[str, int], float]
     trace: list[TraceRecord] = field(default_factory=list, repr=False)
+    baseline_step_time: float | None = None
+    fault_events: list = field(default_factory=list, repr=False)
+
+    @property
+    def fault_slowdown(self) -> float:
+        """Faulted over fault-free step time (1.0 for healthy runs)."""
+        if not self.baseline_step_time:
+            return 1.0
+        return self.step_time / self.baseline_step_time
 
     def summary(self) -> str:
         busy = ", ".join(f"{k}={v:.3g}s" for k, v in self.busy_by_kind.items())
-        return (f"{self.machine} p={self.p}: step={self.step_time * 1e3:.2f} ms, "
+        text = (f"{self.machine} p={self.p}: step={self.step_time * 1e3:.2f} ms, "
                 f"{self.throughput:.1f} samples/s ({busy})")
+        if self.baseline_step_time is not None:
+            text += (f" [faulted: {self.fault_slowdown:.2f}x over "
+                     f"{self.baseline_step_time * 1e3:.2f} ms healthy, "
+                     f"{len(self.fault_events)} fault events]")
+        return text
 
 
 def _infer_batch(graph: CompGraph) -> int:
@@ -360,6 +379,7 @@ def simulate_step(
     efficiency: float = DEFAULT_COMPUTE_EFFICIENCY,
     batch: int | None = None,
     keep_trace: bool = False,
+    faults=None,
 ) -> SimulationReport:
     """Simulate one training step; see module docstring.
 
@@ -374,6 +394,12 @@ def simulate_step(
         dim when omitted.
     keep_trace:
         Retain the full per-task trace in the report (large).
+    faults:
+        Optional `repro.resilience.faults.FaultPlan`.  The step is first
+        scheduled fault-free (fixing the baseline makespan that relative
+        fault times resolve against), then re-scheduled with the plan's
+        perturbations injected; the report carries both makespans plus
+        the applied fault events.
     """
     strategy.validate(graph, p)
     if placement is None:
@@ -388,6 +414,17 @@ def simulate_step(
     makespan, trace = builder.sched.run()
     if makespan <= 0:
         raise SimulationError("simulated step has zero duration")
+
+    baseline = None
+    fault_events: list = []
+    if faults is not None and not faults.is_empty():
+        from ..resilience.faults import FaultInjector
+
+        baseline = makespan
+        injector = FaultInjector(faults.resolve(baseline), p)
+        makespan, trace = builder.sched.run(faults=injector)
+        fault_events = injector.events
+
     return SimulationReport(
         step_time=makespan,
         throughput=batch / makespan,
@@ -398,4 +435,6 @@ def simulate_step(
         busy_by_kind=busy_time_by_kind(trace),
         device_utilization=utilization(trace, makespan),
         trace=trace if keep_trace else [],
+        baseline_step_time=baseline,
+        fault_events=fault_events,
     )

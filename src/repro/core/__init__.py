@@ -6,6 +6,7 @@ from .dims import Dim, ceil_div, shard_extent, shard_volume
 from .dp import DEFAULT_MEMORY_BUDGET, dp_table_profile, find_best_strategy
 from .exceptions import (
     ConfigError,
+    FaultPlanError,
     GraphError,
     PaseError,
     SearchResourceError,
@@ -33,6 +34,7 @@ __all__ = [
     "DTYPE_BYTES",
     "Dim",
     "Edge",
+    "FaultPlanError",
     "GTX1080TI",
     "MachineSpec",
     "PaseError",

@@ -37,7 +37,23 @@ class SearchResourceError(PaseError):
         self.requested_bytes = requested_bytes
         self.budget_bytes = budget_bytes
 
+    def __str__(self) -> str:
+        base = super().__str__()
+        if self.requested_bytes is not None or self.budget_bytes is not None:
+            req = "?" if self.requested_bytes is None \
+                else f"{self.requested_bytes:,}"
+            bud = "?" if self.budget_bytes is None \
+                else f"{self.budget_bytes:,}"
+            return f"{base} [requested_bytes={req}, budget_bytes={bud}]"
+        return base
+
 
 class SimulationError(PaseError):
     """Raised for inconsistent cluster-simulation inputs (unplaced shards,
     unknown devices, dependency cycles in the task graph)."""
+
+
+class FaultPlanError(SimulationError):
+    """Raised for invalid fault-injection plans (devices outside the
+    cluster, non-finite downtimes, slowdown factors below 1, malformed
+    plan files)."""

@@ -83,7 +83,8 @@ def naive_bf_strategy(
         if time_budget is not None and time.perf_counter() - t0 > time_budget:
             raise SearchResourceError(
                 f"BF DP exceeded the {time_budget:.0f}s time budget at "
-                f"vertex {order[i]!r} ({i}/{n})")
+                f"vertex {order[i]!r} ({i}/{n})",
+                requested_bytes=live, budget_bytes=memory_budget)
         axes = dep[i]
         full_axes = axes + (i,)
         table_shape = tuple(ksize[d] for d in axes)
@@ -111,7 +112,9 @@ def naive_bf_strategy(
         except TimeoutError:
             raise SearchResourceError(
                 f"BF DP exceeded the {time_budget:.0f}s time budget at "
-                f"vertex {order[i]!r} ({i}/{n})") from None
+                f"vertex {order[i]!r} ({i}/{n})",
+                requested_bytes=live + needed,
+                budget_bytes=memory_budget) from None
         cells_evaluated += table_cells * ksize[i]
         if prev_table is not None:
             live -= prev_table.nbytes

@@ -77,8 +77,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--benchmark", default="transformer")
     parser.add_argument("--p", type=int, default=8)
+    parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
+                        help="RNG seeds, one MCMC run per seed and init")
     args = parser.parse_args(argv)
-    rows = run_mcmc_sensitivity(benchmark=args.benchmark, p=args.p)
+    rows = run_mcmc_sensitivity(benchmark=args.benchmark, p=args.p,
+                                seeds=tuple(args.seeds))
     print(format_sensitivity(rows))
     return 0
 

@@ -88,9 +88,12 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--full", action="store_true",
                         help=f"sweep p={FULL_PS} (long) instead of {DEFAULT_PS}")
     parser.add_argument("--benchmarks", nargs="*", default=list(BENCH_ORDER))
+    parser.add_argument("--seed", type=int, default=0,
+                        help="RNG seed for the stochastic baselines (MCMC)")
     args = parser.parse_args(argv)
     cells = run_table1(benchmarks=args.benchmarks,
-                       ps=FULL_PS if args.full else DEFAULT_PS)
+                       ps=FULL_PS if args.full else DEFAULT_PS,
+                       seed=args.seed)
     print(format_table1(cells))
     return 0
 

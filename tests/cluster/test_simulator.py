@@ -1,12 +1,16 @@
 """Tests for the training-step simulator."""
 
+import numpy as np
 import pytest
 
+from repro.assignment.greedy import greedy_placement
 from repro.baselines import data_parallel_strategy
 from repro.cluster import simulate_step
+from repro.cluster.events import ListScheduler, Task
 from repro.cluster.simulator import DEFAULT_COMPUTE_EFFICIENCY
-from repro.core.machine import GTX1080TI, RTX2080TI
+from repro.core.exceptions import SimulationError
 from repro.core.strategy import Strategy
+from repro.core.machine import GTX1080TI, RTX2080TI
 from repro.models import mlp
 from tests.conftest import build_dag
 
@@ -118,6 +122,73 @@ class TestPhysics:
         s = data_parallel_strategy(small_mlp, 4)
         rep = simulate_step(small_mlp, s, GTX1080TI, 4)
         assert all(0.0 <= u <= 1.0 for u in rep.device_utilization.values())
+
+
+class TestErrors:
+    """SimulationError paths: bad placements, bad devices, bad DAGs."""
+
+    def test_unplaced_shards_rejected(self, small_mlp):
+        s = data_parallel_strategy(small_mlp, 4)
+        pl = greedy_placement(small_mlp, s, 4)
+        del pl.devices["fc1"]
+        with pytest.raises(SimulationError, match="no placement"):
+            simulate_step(small_mlp, s, GTX1080TI, 4, placement=pl)
+
+    def test_unknown_device_rejected(self, small_mlp):
+        s = data_parallel_strategy(small_mlp, 4)
+        pl = greedy_placement(small_mlp, s, 4)
+        pl.devices["fc1"] = np.array([0, 1, 2, 99], dtype=np.int64)
+        with pytest.raises(SimulationError, match="outside"):
+            simulate_step(small_mlp, s, GTX1080TI, 4, placement=pl)
+
+    def test_colliding_shards_rejected(self, small_mlp):
+        s = data_parallel_strategy(small_mlp, 4)
+        pl = greedy_placement(small_mlp, s, 4)
+        pl.devices["fc1"] = np.array([0, 0, 1, 2], dtype=np.int64)
+        with pytest.raises(SimulationError, match="two shards"):
+            simulate_step(small_mlp, s, GTX1080TI, 4, placement=pl)
+
+    def test_dependency_cycle_detected(self):
+        """`add` forbids forward deps, so a cycle can only be forged by
+        mutation — `run` must still refuse to schedule it."""
+        sched = ListScheduler()
+        a = sched.add(Task(kind="fwd", label="a", resources=(("gpu", 0),),
+                           duration=1.0))
+        b = sched.add(Task(kind="fwd", label="b", resources=(("gpu", 0),),
+                           duration=1.0, deps=(a,)))
+        sched.tasks[a].deps = (b,)
+        with pytest.raises(SimulationError, match="cycle"):
+            sched.run()
+
+    def test_future_dependency_rejected_at_add(self):
+        sched = ListScheduler()
+        with pytest.raises(SimulationError, match="unknown/future"):
+            sched.add(Task(kind="fwd", label="a", resources=(("gpu", 0),),
+                           duration=1.0, deps=(5,)))
+
+    def test_negative_duration_rejected_at_add(self):
+        sched = ListScheduler()
+        with pytest.raises(SimulationError, match="negative duration"):
+            sched.add(Task(kind="fwd", label="a", resources=(("gpu", 0),),
+                           duration=-1.0))
+
+    def test_missing_batch_dim_needs_explicit_batch(self):
+        from repro.core.dims import Dim
+        from repro.core.graph import CompGraph
+        from repro.core.tensors import TensorSpec
+        from repro.ops.base import OpSpec
+
+
+        op = OpSpec(name="nb", kind="test", dims=(Dim("m", 8),),
+                    inputs={"in0": TensorSpec(axes=("m",))},
+                    outputs={"out": TensorSpec(axes=("m",))},
+                    flops_per_point=2.0)
+        g = CompGraph([op])
+        s = Strategy.serial(g)
+        with pytest.raises(SimulationError, match="batch"):
+            simulate_step(g, s, GTX1080TI, 1)
+        rep = simulate_step(g, s, GTX1080TI, 1, batch=16)
+        assert rep.batch == 16
 
 
 class TestMultiNode:

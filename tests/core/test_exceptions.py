@@ -1,0 +1,84 @@
+"""Tests for the library exception hierarchy."""
+
+import pytest
+
+from repro.core.exceptions import (
+    ConfigError,
+    FaultPlanError,
+    GraphError,
+    PaseError,
+    SearchResourceError,
+    SimulationError,
+    StrategyError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GraphError, ConfigError, StrategyError, SearchResourceError,
+        SimulationError, FaultPlanError,
+    ])
+    def test_all_derive_from_pase_error(self, exc):
+        assert issubclass(exc, PaseError)
+        assert issubclass(exc, Exception)
+
+    def test_fault_plan_error_is_a_simulation_error(self):
+        """`except SimulationError` around a simulation must also catch
+        bad fault plans fed into it."""
+        assert issubclass(FaultPlanError, SimulationError)
+        with pytest.raises(SimulationError):
+            raise FaultPlanError("bad plan")
+
+    def test_siblings_stay_distinct(self):
+        assert not issubclass(SearchResourceError, SimulationError)
+        assert not issubclass(SimulationError, SearchResourceError)
+
+    def test_base_catchall(self):
+        for exc in (GraphError("g"), SearchResourceError("s"),
+                    FaultPlanError("f")):
+            with pytest.raises(PaseError):
+                raise exc
+
+
+class TestSearchResourceError:
+    def test_plain_message_without_bytes(self):
+        err = SearchResourceError("over budget")
+        assert str(err) == "over budget"
+        assert err.requested_bytes is None and err.budget_bytes is None
+
+    def test_renders_both_byte_counts(self):
+        err = SearchResourceError("over budget", requested_bytes=2_000_000,
+                                  budget_bytes=1_000_000)
+        text = str(err)
+        assert "requested_bytes=2,000,000" in text
+        assert "budget_bytes=1,000,000" in text
+        assert text.startswith("over budget")
+
+    def test_renders_partial_bytes_with_placeholder(self):
+        err = SearchResourceError("oom", requested_bytes=512)
+        assert "requested_bytes=512" in str(err)
+        assert "budget_bytes=?" in str(err)
+
+    def test_bytes_survive_raise(self):
+        with pytest.raises(SearchResourceError) as exc:
+            raise SearchResourceError("x", requested_bytes=10, budget_bytes=5)
+        assert exc.value.requested_bytes == 10
+        assert exc.value.budget_bytes == 5
+
+    def test_search_raise_sites_populate_bytes(self):
+        """The real DP search attaches byte counts when it trips the
+        budget — the CLI relies on this to render actionable errors."""
+        from repro.core.configs import ConfigSpace
+        from repro.core.costmodel import CostModel
+        from repro.core.dp import find_best_strategy
+        from repro.core.machine import GTX1080TI
+        from tests.conftest import build_dag
+
+        g = build_dag(4, [], batch=16, width=16)
+        space = ConfigSpace.build(g, 8)
+        tables = CostModel(GTX1080TI).build_tables(g, space)
+        with pytest.raises(SearchResourceError) as exc:
+            find_best_strategy(g, space, tables, memory_budget=64)
+        assert exc.value.requested_bytes is not None
+        assert exc.value.budget_bytes == 64
+        assert "budget_bytes=64" in str(exc.value)

@@ -78,6 +78,60 @@ class TestCLIExtensions:
         assert "timeline" in out and "gpu0" in out
 
 
+class TestCLIResilience:
+    def _plan(self, tmp_path, **kw):
+        plan = {"relative_times": True,
+                "device_failures": [
+                    {"device": 1, "time": 0.5, "downtime": 0.5}],
+                "stragglers": [{"device": 2, "slowdown": 2.0}]}
+        plan.update(kw)
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return str(path)
+
+    def test_search_resilient_flag(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--resilient"]) == 0
+        out = capsys.readouterr().out
+        assert "cost=" in out and "degradation" in out
+
+    def test_search_resilient_tight_budget_degrades(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--resilient", "--memory-budget", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "completed after" in out and "retries" in out
+
+    def test_search_budget_without_resilient_raises(self):
+        from repro.core.exceptions import SearchResourceError
+        with pytest.raises(SearchResourceError, match="budget_bytes=64"):
+            main(["search", "--model", "rnnlm", "--p", "4",
+                  "--memory-budget", "64"])
+
+    def test_simulate_with_faults(self, tmp_path, capsys):
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--methods", "ours",
+                     "--faults", self._plan(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "fault-injected" in out and "slowdown" in out
+
+    def test_simulate_faults_with_replan_and_ckpt(self, tmp_path, capsys):
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--methods", "ours",
+                     "--faults", self._plan(tmp_path),
+                     "--replan", "--ckpt-interval", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "effective step time" in out
+        assert "elastic re-plan" in out and "break-even" in out
+
+    def test_simulate_bad_plan_rejected(self, tmp_path):
+        from repro.core.exceptions import FaultPlanError
+        bad = tmp_path / "bad.json"
+        bad.write_text("{not json")
+        with pytest.raises(FaultPlanError):
+            main(["simulate", "--model", "rnnlm", "--p", "4",
+                  "--methods", "ours", "--faults", str(bad)])
+
+
 class TestCLIExperimentCommands:
     def test_table1_subcommand(self, capsys):
         assert main(["table1", "--benchmarks", "rnnlm"]) == 0
