@@ -1,0 +1,100 @@
+"""Cost-table construction: serial vs parallel vs warm on-disk cache.
+
+For each network this times `CostModel.build_tables` three ways —
+single-process, multi-process (``jobs=0`` = all cores), and from a warm
+`TableCache` — asserts the parallel and cached tables are bit-identical
+to the serial ones, and proves the warm hit never touches the matrix
+constructors.  Timings land in ``BENCH_tables.json`` (override the path
+with ``PASE_BENCH_OUT``).
+
+Unlike the other bench modules this one needs no pytest-benchmark
+plugin, so CI can smoke it with the base test toolchain:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_tables.py
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.machine import GTX1080TI
+from repro.core.tablecache import TableCache
+from repro.models import BENCHMARKS
+from _config import FULL
+
+NETWORKS = ("inception_v3", "transformer")
+P = 32 if FULL else 16
+#: At least two workers so the pool path runs even on single-core CI.
+JOBS = max(2, os.cpu_count() or 1)
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    if _RESULTS:
+        out = os.environ.get("PASE_BENCH_OUT", "BENCH_tables.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        print(f"\n# table-construction timings written to {out}")
+
+
+def _identical(a, b) -> bool:
+    """Bit-identical cost tables (exact equality, not allclose)."""
+    return (set(a.lc) == set(b.lc)
+            and set(a.pair_tx) == set(b.pair_tx)
+            and all(np.array_equal(a.lc[n], b.lc[n]) for n in a.lc)
+            and all(np.array_equal(a.pair_tx[k], b.pair_tx[k])
+                    for k in a.pair_tx))
+
+
+@pytest.mark.parametrize("net", NETWORKS)
+def test_build_serial_parallel_cached(net, tmp_path, monkeypatch):
+    graph = BENCHMARKS[net]()
+    space = ConfigSpace.build(graph, P, mode="pow2")
+    cm = CostModel(GTX1080TI)
+    cache = TableCache(tmp_path / "cache")
+
+    t0 = time.perf_counter()
+    serial = cm.build_tables(graph, space)
+    t_serial = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    par = cm.build_tables(graph, space, jobs=JOBS)
+    t_par = time.perf_counter() - t0
+    assert _identical(serial, par), "parallel tables differ from serial"
+
+    t0 = time.perf_counter()
+    cold = cm.build_tables(graph, space, cache=cache)
+    t_cold = time.perf_counter() - t0
+    assert cold.build_stats["cache_hit"] == 0.0
+
+    # A warm hit must come entirely off disk: fail the moment either
+    # matrix constructor runs.
+    def _boom(*args, **kwargs):
+        raise AssertionError("matrix construction ran on a warm cache hit")
+
+    monkeypatch.setattr(CostModel, "layer_cost", _boom)
+    monkeypatch.setattr(CostModel, "edge_bytes_matrix", _boom)
+    t0 = time.perf_counter()
+    warm = cm.build_tables(graph, space, cache=cache)
+    t_warm = time.perf_counter() - t0
+    monkeypatch.undo()
+    assert warm.build_stats["cache_hit"] == 1.0
+    assert _identical(serial, warm), "cached tables differ from serial"
+
+    _RESULTS[net] = {
+        "p": float(P),
+        "work_cells": float(CostModel.table_work_cells(graph, space)),
+        "serial_seconds": t_serial,
+        "parallel_seconds": t_par,
+        "parallel_jobs": par.build_stats["jobs"],
+        "cold_cache_seconds": t_cold,
+        "warm_cache_seconds": t_warm,
+    }

@@ -7,7 +7,7 @@ from .graphstats import (
     section_3c_report,
 )
 from .memory import MemoryModel, NodeMemory, strategy_memory
-from .reporting import format_grid, format_speedup_table, format_time
+from .reporting import format_grid, format_speedup_table, format_table_build_stats, format_time
 
 __all__ = [
     "MemoryModel",
@@ -17,6 +17,7 @@ __all__ = [
     "dependent_set_profile",
     "format_grid",
     "format_speedup_table",
+    "format_table_build_stats",
     "format_time",
     "section_3c_report",
     "strategy_memory",

@@ -6,7 +6,7 @@ from typing import Mapping, Sequence
 
 __all__ = ["format_time", "format_grid", "format_speedup_table",
            "format_fault_table", "format_resilience_report",
-           "format_replan_report"]
+           "format_replan_report", "format_table_build_stats"]
 
 
 def format_time(seconds: float | None) -> str:
@@ -30,6 +30,26 @@ def format_grid(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str
         if j == 0:
             lines.append("-+-".join("-" * w for w in widths))
     return "\n".join(lines)
+
+
+def format_table_build_stats(stats: Mapping[str, float]) -> str:
+    """One-line summary of the cost-table construction phase.
+
+    Accepts ``CostTables.build_stats`` (keys ``build_seconds``,
+    ``cache_hit``, ``jobs``, ``cells``) or ``SearchResult.stats`` using
+    the same keys under a ``table_`` prefix.
+    """
+    get = lambda k: stats.get(k, stats.get(f"table_{k}"))  # noqa: E731
+    seconds = get("build_seconds")
+    if seconds is None:
+        return "cost tables: no build statistics"
+    cells = get("cells")
+    size = f", {cells / 1e6:.2f}M cells" if cells else ""
+    if get("cache_hit"):
+        return f"cost tables: {seconds:.3f}s (cache hit{size})"
+    jobs = int(get("jobs") or 1)
+    how = f"parallel x{jobs}" if jobs > 1 else "serial"
+    return f"cost tables: {seconds:.3f}s ({how}{size})"
 
 
 def format_fault_table(rows: Sequence[tuple[str, object]]) -> str:

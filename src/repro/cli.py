@@ -37,9 +37,19 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
                      default="pow2", help="configuration enumeration mode")
 
 
+def _add_table_opts(sub: argparse.ArgumentParser) -> None:
+    sub.add_argument("--jobs", type=int, default=None, metavar="N",
+                     help="worker processes for cost-table construction "
+                     "(0 = all cores; default: serial)")
+    sub.add_argument("--table-cache", metavar="DIR", default=None,
+                     help="cache precomputed cost tables under DIR "
+                     "(content-addressed; reused across runs)")
+
+
 def _cmd_search(args: argparse.Namespace) -> int:
     setup = build_setup(args.model, args.p, machine=_MACHINES[args.machine],
-                        mode=args.mode)
+                        mode=args.mode, jobs=args.jobs,
+                        cache_dir=args.table_cache)
     resilience = None
     if args.method in ("ours", "bf") and \
             (args.resilient or args.memory_budget is not None):
@@ -61,10 +71,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
                                         memory_budget=budget)
     else:
         result = search_with(setup, args.method, seed=args.seed)
+    from .analysis.reporting import format_table_build_stats
+
     print(f"# {args.model} p={args.p} machine={args.machine} "
           f"method={args.method}")
     print(f"# cost={result.cost:.6e} FLOP-equivalents, "
           f"elapsed={result.elapsed:.3f}s")
+    print(f"# {format_table_build_stats(setup.tables.build_stats)}")
     if resilience is not None:
         print(resilience.summary())
     if args.json:
@@ -78,13 +91,17 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     machine = _MACHINES[args.machine]
-    setup = build_setup(args.model, args.p, machine=machine, mode=args.mode)
+    setup = build_setup(args.model, args.p, machine=machine, mode=args.mode,
+                        jobs=args.jobs, cache_dir=args.table_cache)
     plan = None
     if args.faults:
         from .resilience import FaultPlan
 
         plan = FaultPlan.from_file(args.faults)
         plan.validate(args.p)
+    from .analysis.reporting import format_table_build_stats
+
+    print(f"# {format_table_build_stats(setup.tables.build_stats)}")
     rows = []
     base = None
     for method in args.methods:
@@ -164,8 +181,13 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
     machine = _MACHINES[args.machine]
     graph = BENCHMARKS[args.model]()
+    cache = None
+    if args.table_cache is not None:
+        from .core.tablecache import TableCache
+
+        cache = TableCache(args.table_cache)
     res = pipeline_pase(graph, args.p, args.stages, machine=machine,
-                        mode=args.mode)
+                        mode=args.mode, jobs=args.jobs, cache=cache)
     print(f"# {args.model} p={args.p} stages={args.stages} "
           f"({res.devices_per_stage} devices/stage)")
     for i, (stage, cost) in enumerate(zip(res.stages, res.stage_costs)):
@@ -201,6 +223,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_search = subs.add_parser("search", help="find the best strategy")
     _add_common(p_search)
+    _add_table_opts(p_search)
     p_search.add_argument("--method", choices=METHODS, default="ours")
     p_search.add_argument("--seed", type=int, default=0)
     p_search.add_argument("--json", help="write the strategy to a JSON file")
@@ -214,6 +237,7 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
     _add_common(p_sim)
+    _add_table_opts(p_sim)
     p_sim.add_argument("--methods", nargs="+", choices=METHODS,
                        default=["data_parallel", "expert", "ours"])
     p_sim.add_argument("--seed", type=int, default=0)
@@ -246,6 +270,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_pipe = subs.add_parser("pipeline", help="PipeDream-style stages + "
                              "PaSE per stage (Section VI composition)")
     _add_common(p_pipe)
+    _add_table_opts(p_pipe)
     p_pipe.add_argument("--stages", type=int, default=2)
     p_pipe.set_defaults(fn=_cmd_pipeline)
 

@@ -23,6 +23,7 @@ from .sequencer import (
     random_seq,
 )
 from .strategy import SearchResult, Strategy
+from .tablecache import TableCache, table_digest
 from .tensors import DTYPE_BYTES, TensorSpec
 
 __all__ = [
@@ -47,6 +48,7 @@ __all__ = [
     "SimulationError",
     "Strategy",
     "StrategyError",
+    "TableCache",
     "TensorSpec",
     "UNIT_BALANCE",
     "allreduce_bytes",
@@ -63,4 +65,5 @@ __all__ = [
     "serial_config",
     "shard_extent",
     "shard_volume",
+    "table_digest",
 ]

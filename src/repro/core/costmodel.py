@@ -27,6 +27,8 @@ MCMC comparator, and reports all rank strategies with these shared arrays.
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -39,7 +41,39 @@ from .graph import CompGraph, Edge
 from .machine import MachineSpec
 from .tensors import DTYPE_BYTES, TensorSpec
 
-__all__ = ["CostModel", "CostTables", "allreduce_bytes"]
+__all__ = ["CostModel", "CostTables", "allreduce_bytes",
+           "PARALLEL_THRESHOLD_CELLS"]
+
+#: Minimum total table cells (Σ_v K_v + Σ_e K_u·K_v) before a requested
+#: process pool is actually used; below it fork/pickle overhead dominates
+#: and construction stays serial.
+PARALLEL_THRESHOLD_CELLS = 200_000
+
+# Per-worker state installed by the pool initializer (inherited cheaply on
+# fork, re-pickled once per worker on spawn) so tasks only ship indices.
+_WORKER: dict[str, object] = {}
+
+
+def _init_worker(model: "CostModel", graph: CompGraph, space: ConfigSpace) -> None:
+    _WORKER["model"] = model
+    _WORKER["graph"] = graph
+    _WORKER["space"] = space
+
+
+def _node_task(name: str) -> tuple[str, np.ndarray]:
+    model: CostModel = _WORKER["model"]          # type: ignore[assignment]
+    graph: CompGraph = _WORKER["graph"]          # type: ignore[assignment]
+    space: ConfigSpace = _WORKER["space"]        # type: ignore[assignment]
+    return name, model.layer_cost(graph.node(name), space.configs(name))
+
+
+def _edge_task(index: int) -> tuple[int, np.ndarray]:
+    model: CostModel = _WORKER["model"]          # type: ignore[assignment]
+    graph: CompGraph = _WORKER["graph"]          # type: ignore[assignment]
+    space: ConfigSpace = _WORKER["space"]        # type: ignore[assignment]
+    e = graph.edges[index]
+    return index, model.edge_bytes_matrix(
+        graph, e, space.configs(e.src), space.configs(e.dst))
 
 
 def allreduce_bytes(volume_bytes, group_size):
@@ -194,13 +228,85 @@ class CostModel:
 
     # -- table construction --------------------------------------------------
 
-    def build_tables(self, graph: CompGraph, space: ConfigSpace) -> "CostTables":
-        """Precompute `CostTables` for one (graph, machine, p) instance."""
-        lc = {op.name: self.layer_cost(op, space.configs(op.name)) for op in graph}
+    @staticmethod
+    def table_work_cells(graph: CompGraph, space: ConfigSpace) -> int:
+        """Total cells the tables will hold: ``Σ_v K_v + Σ_e K_u · K_v``.
+
+        Used both as the parallelization threshold and as a size proxy in
+        build statistics.
+        """
+        cells = sum(space.size(op.name) for op in graph)
+        cells += sum(space.size(e.src) * space.size(e.dst) for e in graph.edges)
+        return int(cells)
+
+    def _resolve_jobs(self, jobs: int | None, work_cells: int,
+                      n_tasks: int) -> int:
+        """Worker-process count actually used (1 == stay serial)."""
+        if jobs is None:
+            return 1
+        if jobs < 0:
+            raise ValueError(f"jobs={jobs} must be >= 0 (0 = all cores)")
+        workers = jobs if jobs else (os.cpu_count() or 1)
+        if workers <= 1 or work_cells < PARALLEL_THRESHOLD_CELLS:
+            return 1
+        return min(workers, max(n_tasks, 1))
+
+    def build_tables(self, graph: CompGraph, space: ConfigSpace, *,
+                     jobs: int | None = None,
+                     cache: "object | None" = None) -> "CostTables":
+        """Precompute `CostTables` for one (graph, machine, p) instance.
+
+        Parameters
+        ----------
+        jobs:
+            Worker processes for the per-node / per-edge matrix
+            construction.  ``None`` (default) stays serial, ``0`` uses all
+            cores, ``n >= 2`` uses at most ``n``.  Small problems (fewer
+            than `PARALLEL_THRESHOLD_CELLS` total table cells) stay serial
+            regardless — fork/pickle overhead would dominate.  The result
+            is bit-identical to the serial path: workers compute exactly
+            the arrays the serial loop would, and the parent accumulates
+            them in the serial iteration order.
+        cache:
+            Optional `repro.core.tablecache.TableCache`.  On a digest hit
+            the stored arrays are loaded and no matrix is constructed; on
+            a miss the freshly built tables are stored.
+
+        The returned tables carry ``build_stats`` (seconds, cache hit,
+        worker count, table cells) which the searchers surface in
+        ``SearchResult.stats``.
+        """
+        t0 = time.perf_counter()
+        work_cells = self.table_work_cells(graph, space)
+        digest = None
+        if cache is not None:
+            from .tablecache import table_digest
+
+            digest = table_digest(graph, space, self)
+            hit = cache.load(digest, graph, space, self.machine)
+            if hit is not None:
+                hit.build_stats = {
+                    "build_seconds": time.perf_counter() - t0,
+                    "cache_hit": 1.0,
+                    "jobs": 1.0,
+                    "cells": float(work_cells),
+                }
+                return hit
+        n_tasks = len(graph) + len(graph.edges)
+        workers = self._resolve_jobs(jobs, work_cells, n_tasks)
+        if workers > 1:
+            lc, edge_mats = self._build_arrays_parallel(graph, space, workers)
+        else:
+            lc = {op.name: self.layer_cost(op, space.configs(op.name))
+                  for op in graph}
+            edge_mats = [
+                self.edge_bytes_matrix(graph, e, space.configs(e.src),
+                                       space.configs(e.dst))
+                for e in graph.edges
+            ]
         pair_tx: dict[tuple[str, str], np.ndarray] = {}
-        for e in graph.edges:
-            mat = self.edge_bytes_matrix(
-                graph, e, space.configs(e.src), space.configs(e.dst)) * self.r
+        for e, raw in zip(graph.edges, edge_mats):
+            mat = raw * self.r
             key, flip = _canonical(e.src, e.dst)
             if flip:
                 mat = mat.T
@@ -208,8 +314,38 @@ class CostModel:
                 pair_tx[key] = pair_tx[key] + mat
             else:
                 pair_tx[key] = mat
-        return CostTables(graph=graph, space=space, machine=self.machine,
-                          lc=lc, pair_tx=pair_tx)
+        tables = CostTables(graph=graph, space=space, machine=self.machine,
+                            lc=lc, pair_tx=pair_tx)
+        tables.build_stats = {
+            "build_seconds": time.perf_counter() - t0,
+            "cache_hit": 0.0,
+            "jobs": float(workers),
+            "cells": float(work_cells),
+        }
+        if cache is not None and digest is not None:
+            cache.store(digest, tables)
+        return tables
+
+    def _build_arrays_parallel(
+            self, graph: CompGraph, space: ConfigSpace, workers: int,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+        """Fan the per-node / per-edge matrix builds over a process pool.
+
+        Returns the layer-cost dict plus the *unscaled* edge matrices in
+        ``graph.edges`` order, so the caller's accumulation is identical
+        to the serial path.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        names = [op.name for op in graph]
+        n_edges = len(graph.edges)
+        with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker,
+                initargs=(self, graph, space)) as pool:
+            node_out = dict(pool.map(_node_task, names))
+            edge_out = dict(pool.map(_edge_task, range(n_edges)))
+        lc = {name: node_out[name] for name in names}
+        return lc, [edge_out[i] for i in range(n_edges)]
 
 
 def _canonical(u: str, v: str) -> tuple[tuple[str, str], bool]:
@@ -228,6 +364,15 @@ class CostTables:
     pair_tx:
         Canonical node pair -> ``[K_u, K_v]`` transfer costs already scaled
         by ``r`` (FLOP units); multiple edges between a pair are summed.
+    derived:
+        True for tables sliced or transformed from another instance
+        (e.g. resilience coarsening) rather than built from the model.
+        Derived tables are never stored in the on-disk cache — their
+        digest would describe the *original* space, poisoning later hits.
+    build_stats:
+        Construction telemetry from :meth:`CostModel.build_tables`
+        (``build_seconds``, ``cache_hit``, ``jobs``, ``cells``); empty for
+        tables assembled by hand.
     """
 
     graph: CompGraph
@@ -235,6 +380,8 @@ class CostTables:
     machine: MachineSpec
     lc: dict[str, np.ndarray]
     pair_tx: dict[tuple[str, str], np.ndarray]
+    derived: bool = False
+    build_stats: dict[str, float] = field(default_factory=dict, repr=False)
     _nbr_cache: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
 
     def tx(self, u: str, v: str) -> np.ndarray:
@@ -254,6 +401,9 @@ class CostTables:
         missing = set(self.lc) - set(indices)
         if missing:
             raise StrategyError(f"strategy missing nodes: {sorted(missing)[:5]}")
+        extra = set(indices) - set(self.lc)
+        if extra:
+            raise StrategyError(f"strategy names unknown nodes: {sorted(extra)[:5]}")
         total = 0.0
         for name, k in indices.items():
             total += float(self.lc[name][k])

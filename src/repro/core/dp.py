@@ -121,6 +121,11 @@ def find_best_strategy(
                 f"DP table for vertex {seq.name(i)!r} needs {needed} bytes "
                 f"({live_bytes} live, budget {memory_budget}); |D(i)|={len(dep)}",
                 requested_bytes=live_bytes + needed, budget_bytes=memory_budget)
+        # The transient high-water mark for this vertex: everything live
+        # before it, plus the new table/argmin and the chunked cost array
+        # (both inside `needed` — counting them again after the
+        # ``live_bytes`` update below would double-charge the table).
+        peak_bytes = max(peak_bytes, live_bytes + needed)
 
         terms: list[tuple[np.ndarray, tuple[int, ...]]] = []
         terms.append((tables.lc[seq.name(i)], (i,)))
@@ -147,7 +152,6 @@ def find_best_strategy(
         records[i] = _VertexRecord(axes=dep, table=table, argmin=argmin,
                                    children=children)
         live_bytes += table.nbytes + argmin.nbytes
-        peak_bytes = max(peak_bytes, live_bytes + needed)
 
     # -- total cost: sum of the (scalar) root tables -----------------------
     roots = seq.roots()
@@ -172,18 +176,23 @@ def find_best_strategy(
     indices = {seq.name(i): k for i, k in chosen.items()}
     strategy = Strategy.from_indices(space, indices)
     elapsed = time.perf_counter() - t0
+    stats = {
+        "cells": float(cells_evaluated),
+        "peak_bytes": float(peak_bytes),
+        "max_dependent": float(seq.max_dependent_size),
+        "k_max": float(space.max_size),
+        "vertices": float(n),
+    }
+    # Surface the table-construction phase (build seconds, cache hit,
+    # worker count) alongside the DP's own counters.
+    for key, val in tables.build_stats.items():
+        stats[f"table_{key}"] = float(val)
     return SearchResult(
         strategy=strategy,
         cost=total,
         elapsed=elapsed,
         method=method_name,
-        stats={
-            "cells": float(cells_evaluated),
-            "peak_bytes": float(peak_bytes),
-            "max_dependent": float(seq.max_dependent_size),
-            "k_max": float(space.max_size),
-            "vertices": float(n),
-        },
+        stats=stats,
     )
 
 

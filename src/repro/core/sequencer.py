@@ -22,6 +22,7 @@ so `SequencedGraph` uses it to annotate arbitrary orderings.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
@@ -92,10 +93,10 @@ def breadth_first_seq(graph: CompGraph, root: str | None = None) -> tuple[str, .
     for start in pending:
         if start in visited:
             continue
-        queue = [start]
+        queue = deque([start])
         visited.add(start)
         while queue:
-            n = queue.pop(0)
+            n = queue.popleft()
             order.append(n)
             for m in graph.neighbors(n):
                 if m not in visited:

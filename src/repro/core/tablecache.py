@@ -1,0 +1,265 @@
+"""Content-addressed on-disk cache for precomputed `CostTables`.
+
+Every search entry point pays `CostModel.build_tables` before a single DP
+cell is evaluated, and the same (graph, machine, p, mode) instance is
+rebuilt by experiment drivers thousands of times across runs.  TensorOpt
+and FlexFlow both treat cost-profile construction as a cacheable artifact;
+this module does the same for PaSE's tables.
+
+**Cache key.**  :func:`table_digest` hashes a canonical description of
+everything the table contents depend on:
+
+* graph structure and op shapes — per node: name, kind, dims
+  (name/size/splittable), aliases, every tensor port's axes / param flag /
+  scale / sparse-gradient count, reduction dims, FLOP model; plus the full
+  edge list with ports;
+* the `MachineSpec` (rates, topology breakdown, p2p);
+* the configuration space — ``p``, enumeration mode, **and the raw bytes
+  of every node's configuration table** (so pruned or custom spaces get
+  their own entries);
+* the `CostModel` ablation flags and update-phase constant;
+* a format version, bumped whenever the stored layout changes.
+
+Any change to any of these yields a different digest, which *is* the
+invalidation rule: stale entries are never read, only eventually evicted
+by the size cap.
+
+**Storage.**  One ``<digest>.npz`` per entry holding every ``lc`` and
+``pair_tx`` array plus a JSON manifest; writes go through a temp file +
+``os.replace`` so concurrent builders never observe a torn entry.  The
+cache is bounded by ``max_bytes``; storing past the cap evicts the
+least-recently-used entries (by file mtime — hits re-touch their entry).
+
+Tables marked ``derived`` (e.g. resilience coarsening slices) are refused
+by :meth:`TableCache.store`: their digest would describe the original
+space and poison later lookups.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterator
+
+import numpy as np
+
+from .configs import ConfigSpace
+from .graph import CompGraph
+from .machine import MachineSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .costmodel import CostModel, CostTables
+
+__all__ = ["TableCache", "table_digest", "DEFAULT_CACHE_BYTES",
+           "CACHE_DIR_ENV", "CACHE_BYTES_ENV"]
+
+#: Stored-layout version; bump to invalidate every existing entry.
+_FORMAT_VERSION = 1
+
+#: Default size cap for the cache directory (bytes).
+DEFAULT_CACHE_BYTES = 1 << 30
+
+#: Environment overrides for the cache directory and size cap.
+CACHE_DIR_ENV = "PASE_TABLE_CACHE_DIR"
+CACHE_BYTES_ENV = "PASE_TABLE_CACHE_BYTES"
+
+#: Separator joining pair keys in the manifest (never appears in names).
+_PAIR_SEP = "\x1f"
+
+
+def _tensor_desc(spec) -> list:
+    return [list(spec.axes), bool(spec.is_param), float(spec.scale),
+            spec.sparse_grad_elements]
+
+
+def _node_desc(op) -> list:
+    return [
+        op.name,
+        op.kind,
+        [[d.name, d.size, bool(d.splittable)] for d in op.dims],
+        sorted((a, [p, s]) for a, (p, s) in op.aliases.items()),
+        sorted((port, _tensor_desc(s)) for port, s in op.inputs.items()),
+        sorted((port, _tensor_desc(s)) for port, s in op.outputs.items()),
+        sorted(op.reduction_dims),
+        float(op.flops_per_point),
+        op.flops_fwd_override,
+    ]
+
+
+def table_digest(graph: CompGraph, space: ConfigSpace,
+                 model: "CostModel") -> str:
+    """Stable hex digest identifying one table-construction instance."""
+    h = hashlib.sha256()
+    desc = {
+        "version": _FORMAT_VERSION,
+        "nodes": [_node_desc(op) for op in graph],
+        "edges": [[e.src, e.src_port, e.dst, e.dst_port]
+                  for e in graph.edges],
+        "machine": [model.machine.name, model.machine.peak_flops,
+                    model.machine.intra_node_bw, model.machine.inter_node_bw,
+                    model.machine.devices_per_node, model.machine.p2p],
+        "model": [bool(model.include_grad_sync),
+                  bool(model.include_reduction),
+                  bool(model.include_extra),
+                  float(model.UPDATE_FLOPS_PER_PARAM)],
+        "space": [space.p, space.mode],
+    }
+    h.update(json.dumps(desc, sort_keys=True).encode())
+    # Hash the enumerated configurations themselves so pruned/custom
+    # spaces never collide with the stock enumeration for the same p/mode.
+    for name in sorted(space.tables):
+        tab = np.ascontiguousarray(space.tables[name], dtype=np.int64)
+        h.update(name.encode())
+        h.update(str(tab.shape).encode())
+        h.update(tab.tobytes())
+    return h.hexdigest()
+
+
+class TableCache:
+    """A bounded on-disk store of `CostTables` arrays keyed by digest.
+
+    Parameters
+    ----------
+    root:
+        Cache directory.  Defaults to ``$PASE_TABLE_CACHE_DIR`` or
+        ``~/.cache/pase/tables``.  Created lazily on first store.
+    max_bytes:
+        Size cap; least-recently-used entries are evicted when a store
+        pushes the directory past it.  Defaults to
+        ``$PASE_TABLE_CACHE_BYTES`` or 1 GiB.
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None, *,
+                 max_bytes: int | None = None) -> None:
+        if root is None:
+            root = os.environ.get(CACHE_DIR_ENV) or \
+                Path.home() / ".cache" / "pase" / "tables"
+        self.root = Path(root)
+        if max_bytes is None:
+            env = os.environ.get(CACHE_BYTES_ENV)
+            max_bytes = int(env) if env else DEFAULT_CACHE_BYTES
+        if max_bytes <= 0:
+            raise ValueError(f"max_bytes={max_bytes} must be positive")
+        self.max_bytes = int(max_bytes)
+
+    # -- paths ---------------------------------------------------------------
+
+    def path_for(self, digest: str) -> Path:
+        return self.root / f"{digest}.npz"
+
+    def entries(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return iter(sorted(self.root.glob("*.npz")))
+
+    def total_bytes(self) -> int:
+        return sum(p.stat().st_size for p in self.entries())
+
+    # -- store / load --------------------------------------------------------
+
+    def store(self, digest: str, tables: "CostTables") -> Path | None:
+        """Persist one entry; returns its path, or None when refused.
+
+        Derived tables (coarsened/sliced copies) are refused — their
+        digest describes the original configuration space.
+        """
+        if tables.derived:
+            return None
+        self.root.mkdir(parents=True, exist_ok=True)
+        node_names = list(tables.lc)
+        pair_keys = list(tables.pair_tx)
+        manifest = {
+            "version": _FORMAT_VERSION,
+            "digest": digest,
+            "nodes": node_names,
+            "pairs": [_PAIR_SEP.join(k) for k in pair_keys],
+        }
+        arrays = {"manifest": np.array(json.dumps(manifest))}
+        for i, name in enumerate(node_names):
+            arrays[f"lc_{i}"] = tables.lc[name]
+        for i, key in enumerate(pair_keys):
+            arrays[f"tx_{i}"] = tables.pair_tx[key]
+        path = self.path_for(digest)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                np.savez(fh, **arrays)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        self.evict(keep=path)
+        return path
+
+    def load(self, digest: str, graph: CompGraph, space: ConfigSpace,
+             machine: MachineSpec) -> "CostTables | None":
+        """Reconstruct `CostTables` for a digest, or None on a miss.
+
+        The caller supplies the live graph/space/machine objects (the
+        digest guarantees they describe the stored arrays); a corrupt or
+        incompatible entry is treated as a miss and removed.
+        """
+        from .costmodel import CostTables
+
+        path = self.path_for(digest)
+        if not path.is_file():
+            return None
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                manifest = json.loads(str(data["manifest"]))
+                if manifest.get("version") != _FORMAT_VERSION or \
+                        manifest.get("digest") != digest:
+                    raise ValueError("manifest mismatch")
+                lc = {name: data[f"lc_{i}"]
+                      for i, name in enumerate(manifest["nodes"])}
+                pair_tx = {}
+                for i, joined in enumerate(manifest["pairs"]):
+                    u, v = joined.split(_PAIR_SEP)
+                    pair_tx[(u, v)] = data[f"tx_{i}"]
+        except (OSError, ValueError, KeyError, json.JSONDecodeError):
+            path.unlink(missing_ok=True)
+            return None
+        if set(lc) != set(space.tables) or \
+                any(lc[n].shape[0] != space.size(n) for n in lc):
+            path.unlink(missing_ok=True)
+            return None
+        os.utime(path)  # LRU touch
+        return CostTables(graph=graph, space=space, machine=machine,
+                          lc=lc, pair_tx=pair_tx)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def evict(self, keep: Path | None = None) -> list[Path]:
+        """Delete least-recently-used entries until under ``max_bytes``.
+
+        ``keep`` (typically the entry just written) is evicted only after
+        every other entry is gone.
+        """
+        entries = [(p, p.stat()) for p in self.entries()]
+        total = sum(st.st_size for _, st in entries)
+        if total <= self.max_bytes:
+            return []
+        entries.sort(key=lambda e: (e[0] == keep, e[1].st_mtime))
+        removed: list[Path] = []
+        for p, st in entries:
+            if total <= self.max_bytes:
+                break
+            p.unlink(missing_ok=True)
+            total -= st.st_size
+            removed.append(p)
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        n = 0
+        for p in self.entries():
+            p.unlink(missing_ok=True)
+            n += 1
+        return n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TableCache {self.root} cap={self.max_bytes}>"

@@ -42,22 +42,34 @@ class BenchSetup:
 
 
 @lru_cache(maxsize=32)
-def _cached_setup(name: str, p: int, machine_name: str, mode: str) -> BenchSetup:
+def _cached_setup(name: str, p: int, machine_name: str, mode: str,
+                  jobs: int | None, cache_dir: str | None) -> BenchSetup:
     machine = {"1080Ti": GTX1080TI}.get(machine_name)
     if machine is None:
         from ..core.machine import RTX2080TI
         machine = RTX2080TI if machine_name == "2080Ti" else GTX1080TI
     graph = BENCHMARKS[name]()
     space = ConfigSpace.build(graph, p, mode=mode)
-    tables = CostModel(machine).build_tables(graph, space)
+    cache = None
+    if cache_dir is not None:
+        from ..core.tablecache import TableCache
+        cache = TableCache(cache_dir)
+    tables = CostModel(machine).build_tables(graph, space, jobs=jobs,
+                                             cache=cache)
     return BenchSetup(name=name, graph=graph, p=p, machine=machine,
                       space=space, tables=tables)
 
 
 def build_setup(name: str, p: int, *, machine: MachineSpec = GTX1080TI,
-                mode: str = "pow2") -> BenchSetup:
-    """Build (and memoize) graph + config space + cost tables."""
-    return _cached_setup(name, p, machine.name, mode)
+                mode: str = "pow2", jobs: int | None = None,
+                cache_dir: str | None = None) -> BenchSetup:
+    """Build (and memoize) graph + config space + cost tables.
+
+    ``jobs`` parallelizes the cost-table construction (0 = all cores);
+    ``cache_dir`` enables the on-disk table cache rooted there.
+    """
+    return _cached_setup(name, p, machine.name, mode, jobs,
+                         None if cache_dir is None else str(cache_dir))
 
 
 def search_with(setup: BenchSetup, method: str, *, seed: int = 0,

@@ -42,12 +42,14 @@ def run_figure6(*, benchmarks: Sequence[str] = BENCH_ORDER,
                 ps: Sequence[int] = DEFAULT_PS,
                 machines: Sequence[MachineSpec] = (GTX1080TI, RTX2080TI),
                 methods: Sequence[str] = METHODS,
-                seed: int = 0) -> list[Figure6Point]:
+                seed: int = 0, jobs: int | None = None,
+                cache_dir: str | None = None) -> list[Figure6Point]:
     points: list[Figure6Point] = []
     for machine in machines:
         for bench in benchmarks:
             for p in ps:
-                setup = build_setup(bench, p, machine=machine)
+                setup = build_setup(bench, p, machine=machine, jobs=jobs,
+                                    cache_dir=cache_dir)
                 dp = search_with(setup, "data_parallel").strategy
                 base = simulate_step(setup.graph, dp, machine, p)
                 points.append(Figure6Point(machine.name, bench, p,
@@ -82,10 +84,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--benchmarks", nargs="*", default=list(BENCH_ORDER))
     parser.add_argument("--seed", type=int, default=0,
                         help="RNG seed for the stochastic baselines (MCMC)")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cost-table construction "
+                        "(0 = all cores; default: serial)")
+    parser.add_argument("--table-cache", metavar="DIR", default=None,
+                        help="cache precomputed cost tables under DIR")
     args = parser.parse_args(argv)
     points = run_figure6(benchmarks=args.benchmarks,
                          ps=FULL_PS if args.full else DEFAULT_PS,
-                         seed=args.seed)
+                         seed=args.seed, jobs=args.jobs,
+                         cache_dir=args.table_cache)
     for machine in ("1080Ti", "2080Ti"):
         fig = "6a" if machine == "1080Ti" else "6b"
         print(f"== Figure {fig}: speedup over data parallelism ({machine}) ==")

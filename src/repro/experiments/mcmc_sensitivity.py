@@ -43,8 +43,10 @@ class SensitivityRow:
 
 def run_mcmc_sensitivity(*, benchmark: str = "transformer", p: int = 8,
                          seeds: Sequence[int] = (0, 1, 2),
-                         max_iters: int = 50_000) -> list[SensitivityRow]:
-    setup = build_setup(benchmark, p)
+                         max_iters: int = 50_000, jobs: int | None = None,
+                         cache_dir: str | None = None
+                         ) -> list[SensitivityRow]:
+    setup = build_setup(benchmark, p, jobs=jobs, cache_dir=cache_dir)
     optimum = search_with(setup, "ours").cost
     inits: dict[str, Strategy | None] = {
         "serial": None,
@@ -79,9 +81,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--p", type=int, default=8)
     parser.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2],
                         help="RNG seeds, one MCMC run per seed and init")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cost-table construction "
+                        "(0 = all cores; default: serial)")
+    parser.add_argument("--table-cache", metavar="DIR", default=None,
+                        help="cache precomputed cost tables under DIR")
     args = parser.parse_args(argv)
     rows = run_mcmc_sensitivity(benchmark=args.benchmark, p=args.p,
-                                seeds=tuple(args.seeds))
+                                seeds=tuple(args.seeds), jobs=args.jobs,
+                                cache_dir=args.table_cache)
     print(format_sensitivity(rows))
     return 0
 

@@ -25,12 +25,14 @@ __all__ = ["run_table2", "strategy_structure_checks", "main"]
 BENCH_ORDER = ("alexnet", "inception_v3", "rnnlm", "transformer")
 
 
-def run_table2(*, p: int = 32, benchmarks: Sequence[str] = BENCH_ORDER
+def run_table2(*, p: int = 32, benchmarks: Sequence[str] = BENCH_ORDER,
+               jobs: int | None = None, cache_dir: str | None = None
                ) -> dict[str, Strategy]:
     """Best strategy per benchmark at ``p`` devices (1080Ti balance)."""
     out: dict[str, Strategy] = {}
     for bench in benchmarks:
-        setup = build_setup(bench, p, machine=GTX1080TI)
+        setup = build_setup(bench, p, machine=GTX1080TI, jobs=jobs,
+                            cache_dir=cache_dir)
         out[bench] = search_with(setup, "ours").strategy
     return out
 
@@ -99,8 +101,14 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--p", type=int, default=32)
     parser.add_argument("--benchmarks", nargs="*", default=list(BENCH_ORDER))
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes for cost-table construction "
+                        "(0 = all cores; default: serial)")
+    parser.add_argument("--table-cache", metavar="DIR", default=None,
+                        help="cache precomputed cost tables under DIR")
     args = parser.parse_args(argv)
-    strategies = run_table2(p=args.p, benchmarks=args.benchmarks)
+    strategies = run_table2(p=args.p, benchmarks=args.benchmarks,
+                            jobs=args.jobs, cache_dir=args.table_cache)
     for bench, strategy in strategies.items():
         setup = build_setup(bench, args.p, machine=GTX1080TI)
         print(f"== {bench} (p={args.p}) ==")

@@ -93,14 +93,17 @@ class PipelineResult:
 
 def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
                   machine: MachineSpec = GTX1080TI,
-                  mode: str = "pow2") -> PipelineResult:
+                  mode: str = "pow2", jobs: int | None = None,
+                  cache: "object | None" = None) -> PipelineResult:
     """Partition into pipeline stages, then run PaSE within each stage.
 
     Each stage receives ``p // stages`` devices (must divide evenly) and
     is searched independently — exactly the composition Section VI
     proposes.  The returned ``combined`` strategy concatenates the
     per-stage assignments and is valid for the whole graph at the
-    per-stage device count.
+    per-stage device count.  ``jobs``/``cache`` are forwarded to each
+    stage's `CostModel.build_tables` (every stage subgraph gets its own
+    cache entry — the digest covers the induced structure).
     """
     if stages < 1 or p % stages != 0:
         raise StrategyError(f"p={p} must split evenly into {stages} stages")
@@ -114,7 +117,7 @@ def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
     for part in parts:
         sub = graph.induced_subgraph(part)
         space = ConfigSpace.build(sub, per_stage, mode=mode)
-        tables = cm.build_tables(sub, space)
+        tables = cm.build_tables(sub, space, jobs=jobs, cache=cache)
         res = find_best_strategy(sub, space, tables)
         strategies.append(res.strategy)
         costs.append(res.cost)

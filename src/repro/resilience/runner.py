@@ -115,9 +115,12 @@ def coarsen_config_space(space: ConfigSpace, tables: CostTables,
         (u, v): mat[np.ix_(keep[u], keep[v])]
         for (u, v), mat in tables.pair_tx.items()
     }
+    # ``derived=True``: these tables are slices of another instance — the
+    # on-disk table cache refuses to store them (their digest would
+    # describe the original space and poison later lookups).
     new_tables = CostTables(graph=tables.graph, space=new_space,
                             machine=tables.machine, lc=new_lc,
-                            pair_tx=new_pair)
+                            pair_tx=new_pair, derived=True)
     return new_space, new_tables
 
 

@@ -8,6 +8,7 @@ from repro.analysis import (
     dependent_set_profile,
     format_grid,
     format_speedup_table,
+    format_table_build_stats,
     format_time,
     section_3c_report,
 )
@@ -56,3 +57,22 @@ class TestReporting:
         data = {"alexnet": {4: {"ours": 1.5, "expert": 1.2}}}
         text = format_speedup_table(data, ["expert", "ours"])
         assert "1.50x" in text and "1.20x" in text
+
+    def test_format_table_build_stats(self):
+        assert format_table_build_stats({}) == \
+            "cost tables: no build statistics"
+        serial = {"build_seconds": 0.5, "cache_hit": 0.0, "jobs": 1.0,
+                  "cells": 2_000_000.0}
+        assert format_table_build_stats(serial) == \
+            "cost tables: 0.500s (serial, 2.00M cells)"
+        par = dict(serial, jobs=4.0)
+        assert "parallel x4" in format_table_build_stats(par)
+        hit = dict(serial, cache_hit=1.0)
+        assert "cache hit" in format_table_build_stats(hit)
+
+    def test_format_table_build_stats_prefixed(self):
+        """Accepts SearchResult.stats' table_-prefixed keys too."""
+        stats = {"table_build_seconds": 1.25, "table_cache_hit": 1.0,
+                 "table_jobs": 1.0, "table_cells": 500_000.0}
+        text = format_table_build_stats(stats)
+        assert text == "cost tables: 1.250s (cache hit, 0.50M cells)"

@@ -169,6 +169,16 @@ class TestCostTables:
         with pytest.raises(StrategyError):
             tables.strategy_cost({"n0": 0})
 
+    def test_strategy_cost_extra_node(self):
+        """Unknown names are rejected, symmetric with missing ones — a
+        silently ignored typo would price the wrong strategy."""
+        from repro.core.exceptions import StrategyError
+        g, _, tables = self.setup_tables()
+        idx = {n: 0 for n in g.node_names}
+        idx["phantom"] = 0
+        with pytest.raises(StrategyError, match="unknown"):
+            tables.strategy_cost(idx)
+
     def test_multi_edges_summed(self):
         from repro.core.graph import CompGraph, Edge
         g = CompGraph([make_test_op("a"), make_test_op("b", n_in=2)])
@@ -196,3 +206,49 @@ class TestCostTables:
     def test_nbytes_positive(self):
         _, _, tables = self.setup_tables()
         assert tables.nbytes() > 0
+
+
+class TestParallelBuild:
+    def setup_instance(self):
+        g = build_dag(4, [(0, 2), (1, 3)], param_mask=0b1010,
+                      reduction_mask=0b0100)
+        space = ConfigSpace.build(g, 8)
+        return g, space, CostModel(GTX1080TI)
+
+    def test_parallel_bit_identical(self, monkeypatch):
+        """The pooled build must produce exactly the serial arrays —
+        not merely allclose (float op order is preserved)."""
+        import repro.core.costmodel as costmodel
+        monkeypatch.setattr(costmodel, "PARALLEL_THRESHOLD_CELLS", 0)
+        g, space, cm = self.setup_instance()
+        serial = cm.build_tables(g, space)
+        par = cm.build_tables(g, space, jobs=2)
+        assert par.build_stats["jobs"] == 2.0
+        assert set(serial.lc) == set(par.lc)
+        assert set(serial.pair_tx) == set(par.pair_tx)
+        for n in serial.lc:
+            assert np.array_equal(serial.lc[n], par.lc[n])
+        for k in serial.pair_tx:
+            assert np.array_equal(serial.pair_tx[k], par.pair_tx[k])
+
+    def test_small_problem_stays_serial(self):
+        from repro.core.costmodel import PARALLEL_THRESHOLD_CELLS
+        g, space, cm = self.setup_instance()
+        assert CostModel.table_work_cells(g, space) < \
+            PARALLEL_THRESHOLD_CELLS
+        tables = cm.build_tables(g, space, jobs=4)
+        assert tables.build_stats["jobs"] == 1.0
+
+    def test_negative_jobs_rejected(self):
+        g, space, cm = self.setup_instance()
+        with pytest.raises(ValueError):
+            cm.build_tables(g, space, jobs=-1)
+
+    def test_jobs_none_is_serial(self):
+        g, space, cm = self.setup_instance()
+        tables = cm.build_tables(g, space)
+        assert tables.build_stats["jobs"] == 1.0
+        assert tables.build_stats["cache_hit"] == 0.0
+        assert tables.build_stats["build_seconds"] >= 0.0
+        assert tables.build_stats["cells"] == \
+            float(CostModel.table_work_cells(g, space))

@@ -123,6 +123,57 @@ class TestStats:
         assert max(profile) <= k ** (seq.max_dependent_size + 1)
 
 
+class TestPeakBytes:
+    """Regression tests for the peak-memory accounting.
+
+    ``needed`` already contains the new table + argmin bytes
+    (``table_cells * 12``); an earlier version added ``needed`` on top of
+    the post-materialization ``live_bytes`` and so double-charged every
+    table.
+    """
+
+    def test_single_node_exact(self):
+        from repro.core.graph import CompGraph
+        from tests.conftest import make_test_op
+        g = CompGraph([make_test_op("a")])
+        space, tables = setup(g)
+        res = find_best_strategy(g, space, tables)
+        k = space.size("a")
+        # One vertex, empty D(i): 12 bytes of table/argmin plus the
+        # K-cell transient cost array.  The double-counting bug reported
+        # 12 bytes more.
+        assert res.stats["peak_bytes"] == 12 + 8 * k
+
+    @pytest.mark.parametrize("fixture", ["chain3", "diamond"])
+    def test_matches_reference_accounting(self, fixture, request):
+        graph = request.getfixturevalue(fixture)
+        space, tables = setup(graph)
+        res = find_best_strategy(graph, space, tables)
+
+        # Independent mirror of the DP's accounting: live tables before
+        # vertex i, plus i's transient (table + argmin + chunked cost
+        # array), children's tables freed after consumption, argmins
+        # kept live.
+        from repro.core.dp import DEFAULT_CHUNK_CELLS
+        seq = SequencedGraph.build(graph, generate_seq(graph))
+        ksize = [space.size(seq.name(i)) for i in range(len(seq))]
+        table_nbytes = [0] * len(seq)
+        live = 0
+        peak = 0
+        for i in range(len(seq)):
+            cells = 1
+            for d in seq.dep[i]:
+                cells *= ksize[d]
+            needed = cells * 12 + \
+                min(cells * ksize[i], DEFAULT_CHUNK_CELLS) * 8
+            peak = max(peak, live + needed)
+            for comp in seq.connected_subsets(i):
+                live -= table_nbytes[max(comp)]
+            table_nbytes[i] = cells * 8
+            live += cells * 12
+        assert res.stats["peak_bytes"] == peak
+
+
 class TestAgainstBaselines:
     """The DP optimum can never lose to any heuristic strategy."""
 

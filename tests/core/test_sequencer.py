@@ -44,6 +44,45 @@ class TestOrderings:
         assert generate_seq(CompGraph()) == ()
         assert breadth_first_seq(CompGraph()) == ()
 
+    def _bfs_list_pop_reference(self, graph, root=None):
+        """The original O(n²) ``list.pop(0)`` BFS; the deque version must
+        visit in exactly the same order."""
+        names = graph.node_names
+        if not names:
+            return ()
+        if root is None:
+            root = graph.topological_order()[0]
+        order, visited = [], set()
+        for start in [root] + [n for n in names if n != root]:
+            if start in visited:
+                continue
+            queue = [start]
+            visited.add(start)
+            while queue:
+                n = queue.pop(0)
+                order.append(n)
+                for m in graph.neighbors(n):
+                    if m not in visited:
+                        visited.add(m)
+                        queue.append(m)
+        return tuple(order)
+
+    def test_breadth_first_order_unchanged(self, diamond):
+        assert breadth_first_seq(diamond) == \
+            self._bfs_list_pop_reference(diamond)
+
+    def test_breadth_first_order_unchanged_on_benchmarks(self):
+        from repro.models import inception_v3, transformer
+        for factory in (inception_v3, transformer):
+            g = factory()
+            assert breadth_first_seq(g) == self._bfs_list_pop_reference(g)
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_dags())
+    def test_breadth_first_order_unchanged_random(self, graph):
+        assert breadth_first_seq(graph) == \
+            self._bfs_list_pop_reference(graph)
+
 
 class TestSequencedGraph:
     def test_rejects_non_permutation(self, chain3):

@@ -1,0 +1,268 @@
+"""Tests for the content-addressed on-disk cost-table cache."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.machine import GTX1080TI, RTX2080TI, UNIT_BALANCE
+from repro.core.tablecache import TableCache, table_digest
+from tests.conftest import build_dag
+
+
+def setup_instance(p: int = 4, machine=GTX1080TI, **model_kw):
+    g = build_dag(3, [(0, 2)], param_mask=0b101, reduction_mask=0b010)
+    space = ConfigSpace.build(g, p)
+    cm = CostModel(machine, **model_kw)
+    return g, space, cm
+
+
+def tables_equal(a, b) -> bool:
+    return (set(a.lc) == set(b.lc)
+            and set(a.pair_tx) == set(b.pair_tx)
+            and all(np.array_equal(a.lc[n], b.lc[n]) for n in a.lc)
+            and all(np.array_equal(a.pair_tx[k], b.pair_tx[k])
+                    for k in a.pair_tx))
+
+
+class TestDigest:
+    def test_stable_across_rebuilds(self):
+        g1, s1, m1 = setup_instance()
+        g2, s2, m2 = setup_instance()
+        assert table_digest(g1, s1, m1) == table_digest(g2, s2, m2)
+
+    def test_sensitive_to_p(self):
+        g, s4, cm = setup_instance(p=4)
+        _, s8, _ = setup_instance(p=8)
+        assert table_digest(g, s4, cm) != table_digest(g, s8, cm)
+
+    def test_sensitive_to_mode(self):
+        g, _, cm = setup_instance()
+        pow2 = ConfigSpace.build(g, 4, mode="pow2")
+        divs = ConfigSpace.build(g, 4, mode="divisors")
+        assert table_digest(g, pow2, cm) != table_digest(g, divs, cm)
+
+    def test_sensitive_to_machine(self):
+        g, s, cm1 = setup_instance(machine=GTX1080TI)
+        _, _, cm2 = setup_instance(machine=RTX2080TI)
+        assert table_digest(g, s, cm1) != table_digest(g, s, cm2)
+
+    def test_sensitive_to_ablation_flags(self):
+        g, s, base = setup_instance()
+        _, _, ablated = setup_instance(include_grad_sync=False)
+        assert table_digest(g, s, base) != table_digest(g, s, ablated)
+
+    def test_sensitive_to_graph_shape(self):
+        _, s, cm = setup_instance()
+        small = build_dag(3, [(0, 2)], param_mask=0b101,
+                          reduction_mask=0b010)
+        big = build_dag(3, [(0, 2)], batch=8, param_mask=0b101,
+                        reduction_mask=0b010)
+        s_small = ConfigSpace.build(small, 4)
+        s_big = ConfigSpace.build(big, 4)
+        assert table_digest(small, s_small, cm) != \
+            table_digest(big, s_big, cm)
+
+    def test_sensitive_to_pruned_space(self):
+        """Slicing a node's config table changes the digest even though
+        (p, mode) are unchanged."""
+        g, space, cm = setup_instance()
+        pruned_tabs = dict(space.tables)
+        name = next(iter(pruned_tabs))
+        pruned_tabs[name] = pruned_tabs[name][:1]
+        pruned = ConfigSpace(p=space.p, mode=space.mode, tables=pruned_tabs)
+        assert table_digest(g, space, cm) != table_digest(g, pruned, cm)
+
+
+class TestStoreLoad:
+    def test_roundtrip(self, tmp_path):
+        g, space, cm = setup_instance()
+        tables = cm.build_tables(g, space)
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        path = cache.store(digest, tables)
+        assert path is not None and path.is_file()
+        loaded = cache.load(digest, g, space, cm.machine)
+        assert loaded is not None
+        assert tables_equal(tables, loaded)
+        assert loaded.derived is False
+
+    def test_miss_returns_none(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        assert cache.load("0" * 64, g, space, cm.machine) is None
+
+    def test_corrupt_entry_is_miss_and_removed(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        cache.store(digest, cm.build_tables(g, space))
+        path = cache.path_for(digest)
+        path.write_bytes(b"not an npz archive")
+        assert cache.load(digest, g, space, cm.machine) is None
+        assert not path.exists()
+
+    def test_shape_mismatch_is_miss(self, tmp_path):
+        """An entry whose arrays don't match the live space is dropped
+        (defense in depth — the digest should prevent this)."""
+        g, space, cm = setup_instance(p=4)
+        _, space8, _ = setup_instance(p=8)
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        cache.store(digest, cm.build_tables(g, space))
+        assert cache.load(digest, g, space8, cm.machine) is None
+        assert not cache.path_for(digest).exists()
+
+    def test_derived_tables_refused(self, tmp_path):
+        g, space, cm = setup_instance()
+        tables = cm.build_tables(g, space)
+        from dataclasses import replace
+        cache = TableCache(tmp_path)
+        assert cache.store("d" * 64, replace(tables, derived=True)) is None
+        assert list(cache.entries()) == []
+
+    def test_coarsened_tables_never_stored(self, tmp_path):
+        """The resilience ladder's sliced tables must not poison the
+        cache: they are flagged derived and refused."""
+        from repro.resilience import coarsen_config_space
+        g, space, cm = setup_instance()
+        tables = cm.build_tables(g, space)
+        _, coarse = coarsen_config_space(space, tables, factor=2)
+        assert coarse.derived is True
+        cache = TableCache(tmp_path)
+        assert cache.store(table_digest(g, space, cm), coarse) is None
+
+
+class TestBuildTablesIntegration:
+    def test_cold_build_populates(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        tables = cm.build_tables(g, space, cache=cache)
+        assert tables.build_stats["cache_hit"] == 0.0
+        assert len(list(cache.entries())) == 1
+
+    def test_warm_hit_skips_all_construction(self, tmp_path, monkeypatch):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        cold = cm.build_tables(g, space, cache=cache)
+
+        def boom(*args, **kwargs):
+            raise AssertionError("matrix construction ran on a cache hit")
+
+        monkeypatch.setattr(CostModel, "layer_cost", boom)
+        monkeypatch.setattr(CostModel, "edge_bytes_matrix", boom)
+        warm = cm.build_tables(g, space, cache=cache)
+        assert warm.build_stats["cache_hit"] == 1.0
+        assert tables_equal(cold, warm)
+
+    def test_hit_flows_into_search_stats(self, tmp_path):
+        from repro.core.dp import find_best_strategy
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        cm.build_tables(g, space, cache=cache)
+        warm = cm.build_tables(g, space, cache=cache)
+        res = find_best_strategy(g, space, warm)
+        assert res.stats["table_cache_hit"] == 1.0
+        assert res.stats["table_build_seconds"] >= 0.0
+
+    def test_different_machines_get_distinct_entries(self, tmp_path):
+        g, space, _ = setup_instance()
+        cache = TableCache(tmp_path)
+        CostModel(GTX1080TI).build_tables(g, space, cache=cache)
+        CostModel(UNIT_BALANCE).build_tables(g, space, cache=cache)
+        assert len(list(cache.entries())) == 2
+
+
+class TestEviction:
+    def fill(self, cache, n):
+        """Store ``n`` distinct instances; returns their digests in
+        insertion (oldest-first) order."""
+        import os
+        import time
+        digests = []
+        for i, p in enumerate([2, 4, 8, 16, 32][:n]):
+            g, space, cm = setup_instance(p=p)
+            digest = table_digest(g, space, cm)
+            cache.store(digest, cm.build_tables(g, space))
+            # Distinct mtimes so LRU order is well-defined on coarse
+            # filesystem timestamps.
+            os.utime(cache.path_for(digest),
+                     (time.time() + i, time.time() + i))
+            digests.append(digest)
+        return digests
+
+    def test_oldest_evicted_first(self, tmp_path):
+        cache = TableCache(tmp_path)
+        digests = self.fill(cache, 3)
+        one_entry = cache.path_for(digests[0]).stat().st_size
+        cache.max_bytes = int(one_entry * 1.5)
+        cache.evict()
+        remaining = {p.stem for p in cache.entries()}
+        assert digests[0] not in remaining  # oldest gone
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_store_respects_cap_and_keeps_newest(self, tmp_path):
+        g, space, cm = setup_instance(p=4)
+        probe = TableCache(tmp_path / "probe")
+        digest = table_digest(g, space, cm)
+        probe.store(digest, cm.build_tables(g, space))
+        size = probe.path_for(digest).stat().st_size
+
+        cache = TableCache(tmp_path / "real", max_bytes=int(size * 1.5))
+        self.fill(cache, 3)
+        stems = {p.stem for p in cache.entries()}
+        assert len(stems) >= 1
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_load_touches_entry(self, tmp_path):
+        import os
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        cache.store(digest, cm.build_tables(g, space))
+        path = cache.path_for(digest)
+        os.utime(path, (1.0, 1.0))  # pretend it is ancient
+        before = path.stat().st_mtime
+        cache.load(digest, g, space, cm.machine)
+        assert path.stat().st_mtime > before
+
+    def test_clear(self, tmp_path):
+        cache = TableCache(tmp_path)
+        self.fill(cache, 2)
+        assert cache.clear() == 2
+        assert list(cache.entries()) == []
+
+    def test_invalid_cap_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            TableCache(tmp_path, max_bytes=0)
+
+
+class TestEnvOverrides:
+    def test_dir_and_cap_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PASE_TABLE_CACHE_DIR", str(tmp_path / "envdir"))
+        monkeypatch.setenv("PASE_TABLE_CACHE_BYTES", "12345")
+        cache = TableCache()
+        assert cache.root == tmp_path / "envdir"
+        assert cache.max_bytes == 12345
+
+    def test_explicit_args_win(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("PASE_TABLE_CACHE_DIR", str(tmp_path / "envdir"))
+        cache = TableCache(tmp_path / "explicit", max_bytes=99)
+        assert cache.root == tmp_path / "explicit"
+        assert cache.max_bytes == 99
+
+
+class TestManifest:
+    def test_manifest_contents(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        path = cache.store(digest, cm.build_tables(g, space))
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+        assert manifest["digest"] == digest
+        assert set(manifest["nodes"]) == set(g.node_names)
+        assert len(manifest["pairs"]) == len(
+            {(e.src, e.dst) for e in g.edges})

@@ -31,6 +31,20 @@ class TestAlignedTerm:
         with pytest.raises(ValueError, match="not in target"):
             aligned_term(np.zeros(2), (9,), (1, 2))
 
+    def test_scalar_term_no_axes(self):
+        """A 0-d term (no axes) broadcasts as an all-singleton view."""
+        a = np.array(7.5)
+        out = aligned_term(a, (), (0, 1))
+        assert out.shape == (1, 1)
+        assert out[0, 0] == 7.5
+
+    def test_scalar_target(self):
+        """Empty target axes: a 0-d term stays 0-d."""
+        a = np.array(3.0)
+        out = aligned_term(a, (), ())
+        assert out.shape == ()
+        assert float(out) == 3.0
+
     def test_broadcast_sum_semantics(self):
         rng = np.random.default_rng(0)
         a = rng.random((4,))       # axis 0
@@ -91,3 +105,38 @@ class TestChunkedMinArgmin:
         lc = np.zeros(4)
         table, arg = chunked_min_argmin([(lc, (0,))], (0,), 0, 4, (), 2)
         assert arg == 0
+
+    def test_scalar_target_with_constant_term(self):
+        """0-d table (no dependent axes) plus a 0-d constant term."""
+        lc = np.array([5.0, 2.0, 9.0])
+        const = np.array(1.0)
+        table, arg = chunked_min_argmin([(lc, (4,)), (const, ())],
+                                        (4,), 4, 3, (), 100)
+        assert table.shape == () and arg.shape == ()
+        assert float(table) == pytest.approx(3.0)
+        assert int(arg) == 1
+
+    def test_single_chunk_equals_multi_chunk(self):
+        """chunk >= K (one pass) and chunk forcing K passes must agree
+        exactly — values and argmins."""
+        rng = np.random.default_rng(4)
+        ka, kc = 5, 9
+        terms = [(rng.random(kc), (9,)), (rng.random((ka, kc)), (1, 9))]
+        one = chunked_min_argmin(terms, (1, 9), 9, kc, (ka,), 10**9)
+        many = chunked_min_argmin(terms, (1, 9), 9, kc, (ka,), 1)
+        assert np.array_equal(one[0], many[0])
+        assert np.array_equal(one[1], many[1])
+
+    def test_term_axes_not_in_target_raises(self):
+        """A mislabelled term surfaces aligned_term's error, not a
+        silent mis-broadcast."""
+        bad = [(np.zeros((2, 3)), (0, 7))]
+        with pytest.raises(ValueError, match="not in target"):
+            chunked_min_argmin(bad, (0, 1), 1, 3, (2,), 100)
+
+    def test_deadline_exceeded(self):
+        import time
+        terms = [(np.zeros(8), (0,))]
+        with pytest.raises(TimeoutError):
+            chunked_min_argmin(terms, (0,), 0, 8, (), 1,
+                               deadline=time.perf_counter() - 1.0)
