@@ -1,0 +1,89 @@
+"""DP search: plain FINDBESTSTRATEGY vs the exact search-space reduction.
+
+For each benchmark network this runs the DP twice — once directly and
+once behind :func:`repro.core.reduction.reduce_problem` (config dominance
+pruning + linear-chain contraction) — and records wall time plus the
+number of DP table cells each variant evaluates.  The reduction is exact
+by construction, so the test asserts the two runs recover strategies of
+*bit-identical* normalized cost.  Timings land in ``BENCH_dp.json``
+(override the path with ``PASE_BENCH_OUT``).
+
+Like ``bench_tables.py`` this needs no pytest-benchmark plugin, so CI can
+smoke it with the base test toolchain:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_dp.py
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.configs import ConfigSpace
+from repro.core.costmodel import CostModel
+from repro.core.dp import find_best_strategy
+from repro.core.machine import GTX1080TI
+from repro.models import BENCHMARKS
+from _config import FULL
+
+NETWORKS = ("alexnet", "inception_v3", "rnnlm", "transformer")
+P = 32 if FULL else 16
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    if _RESULTS:
+        out = os.environ.get("PASE_BENCH_OUT", "BENCH_dp.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        print(f"\n# DP search timings written to {out}")
+
+
+@pytest.mark.parametrize("net", NETWORKS)
+def test_dp_plain_vs_reduced(net):
+    graph = BENCHMARKS[net]()
+    space = ConfigSpace.build(graph, P, mode="pow2")
+    tables = CostModel(GTX1080TI).build_tables(graph, space)
+
+    t0 = time.perf_counter()
+    plain = find_best_strategy(graph, space, tables)
+    t_plain = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    red = find_best_strategy(graph, space, tables, reduce=True)
+    t_red = time.perf_counter() - t0
+
+    # Exactness: identical optimal cost, bit for bit, when both optima
+    # are evaluated through the same normalized oracle.
+    assert plain.strategy.cost(tables) == red.strategy.cost(tables), \
+        f"{net}: reduced DP lost the optimum"
+    red.strategy.validate(graph, P)
+
+    cells_plain = plain.stats["cells"]
+    cells_red = red.stats["cells"]
+    assert cells_red <= cells_plain, f"{net}: reduction grew the DP"
+
+    _RESULTS[net] = {
+        "p": float(P),
+        "plain_seconds": t_plain,
+        "plain_cells": cells_plain,
+        "reduced_seconds": t_red,
+        "reduced_cells": cells_red,
+        "reduction_seconds": red.stats["reduction_seconds"],
+        "vertices_removed": red.stats["reduction_vertices_removed"],
+        "configs_removed": red.stats["reduction_configs_removed"],
+        "cell_reduction_pct": (100.0 * (1.0 - cells_red / cells_plain)
+                               if cells_plain else 100.0),
+    }
+
+
+def test_cell_reduction_meets_floor():
+    """>=30% fewer DP cells on at least two networks (acceptance bar)."""
+    assert len(_RESULTS) == len(NETWORKS), "run the full parametrize first"
+    hits = [net for net, r in _RESULTS.items()
+            if r["cell_reduction_pct"] >= 30.0]
+    assert len(hits) >= 2, f"only {hits} cleared the 30% cell-reduction bar"

@@ -7,7 +7,13 @@ from .graphstats import (
     section_3c_report,
 )
 from .memory import MemoryModel, NodeMemory, strategy_memory
-from .reporting import format_grid, format_speedup_table, format_table_build_stats, format_time
+from .reporting import (
+    format_grid,
+    format_reduction_stats,
+    format_speedup_table,
+    format_table_build_stats,
+    format_time,
+)
 
 __all__ = [
     "MemoryModel",
@@ -16,6 +22,7 @@ __all__ = [
     "degree_histogram",
     "dependent_set_profile",
     "format_grid",
+    "format_reduction_stats",
     "format_speedup_table",
     "format_table_build_stats",
     "format_time",

@@ -6,7 +6,8 @@ from typing import Mapping, Sequence
 
 __all__ = ["format_time", "format_grid", "format_speedup_table",
            "format_fault_table", "format_resilience_report",
-           "format_replan_report", "format_table_build_stats"]
+           "format_replan_report", "format_table_build_stats",
+           "format_reduction_stats"]
 
 
 def format_time(seconds: float | None) -> str:
@@ -50,6 +51,25 @@ def format_table_build_stats(stats: Mapping[str, float]) -> str:
     jobs = int(get("jobs") or 1)
     how = f"parallel x{jobs}" if jobs > 1 else "serial"
     return f"cost tables: {seconds:.3f}s ({how}{size})"
+
+
+def format_reduction_stats(stats: Mapping[str, float]) -> str:
+    """One-line summary of the search-space reduction phase.
+
+    Reads the ``reduction_*`` keys `repro.core.reduction.reduce_problem`
+    reports through ``SearchResult.stats``; returns a disabled marker
+    when they are absent (search ran without ``--reduce``).
+    """
+    seconds = stats.get("reduction_seconds")
+    if seconds is None:
+        return "search-space reduction: off"
+    before = stats.get("reduction_cells_before") or 0.0
+    removed = stats.get("reduction_cells_removed") or 0.0
+    pct = f" ({100.0 * removed / before:.1f}% of table cells)" if before else ""
+    return (f"search-space reduction: {seconds:.3f}s, "
+            f"{int(stats.get('reduction_vertices_removed', 0))} vertices and "
+            f"{int(stats.get('reduction_configs_removed', 0))} configs removed"
+            f"{pct} in {int(stats.get('reduction_rounds', 0))} rounds")
 
 
 def format_fault_table(rows: Sequence[tuple[str, object]]) -> str:

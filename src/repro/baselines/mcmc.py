@@ -93,10 +93,25 @@ def mcmc_search(
         idx = init.to_indices(space)
         state = np.array([idx[name] for name in names], dtype=np.int64)
 
+    # Flattened gather views for full_cost: node costs come from one
+    # fancy-indexed lookup into the concatenated lc arrays, edge costs
+    # from one lookup into the concatenated raveled pair matrices
+    # (flat index = offset + k_u * n_cols + k_v).
+    lc_flat = np.concatenate(lc) if n else np.zeros(0)
+    lc_off = np.concatenate([[0], np.cumsum(ksize[:-1])]).astype(np.int64) \
+        if n else np.zeros(0, dtype=np.int64)
+    mats = list(tables.pair_tx.values())
+    eu = np.array([pos[u] for u, _ in tables.pair_tx], dtype=np.int64)
+    ev = np.array([pos[v] for _, v in tables.pair_tx], dtype=np.int64)
+    ecols = np.array([m.shape[1] for m in mats], dtype=np.int64)
+    eoff = np.concatenate([[0], np.cumsum([m.size for m in mats])[:-1]]) \
+        .astype(np.int64) if mats else np.zeros(0, dtype=np.int64)
+    tx_flat = np.concatenate([m.ravel() for m in mats]) if mats else np.zeros(0)
+
     def full_cost(st: np.ndarray) -> float:
-        total = sum(float(lc[i][st[i]]) for i in range(n))
-        for (u, v), mat in tables.pair_tx.items():
-            total += float(mat[st[pos[u]], st[pos[v]]])
+        total = float(lc_flat[lc_off + st].sum())
+        if tx_flat.size:
+            total += float(tx_flat[eoff + st[eu] * ecols + st[ev]].sum())
         return total
 
     cur_cost = full_cost(state)

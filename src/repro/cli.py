@@ -44,6 +44,11 @@ def _add_table_opts(sub: argparse.ArgumentParser) -> None:
     sub.add_argument("--table-cache", metavar="DIR", default=None,
                      help="cache precomputed cost tables under DIR "
                      "(content-addressed; reused across runs)")
+    sub.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                     default=False,
+                     help="run the exactness-preserving search-space "
+                     "reduction (dominance pruning + chain contraction) "
+                     "before the DP")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -60,24 +65,31 @@ def _cmd_search(args: argparse.Namespace) -> int:
             else DEFAULT_MEMORY_BUDGET
         order = breadth_first_seq(setup.graph) if args.method == "bf" else None
         if args.resilient:
+            from functools import partial
+
             from .resilience import resilient_find_best_strategy
 
             result, resilience = resilient_find_best_strategy(
                 setup.graph, setup.space, setup.tables, order=order,
-                memory_budget=budget)
+                memory_budget=budget,
+                search_fn=partial(find_best_strategy, reduce=args.reduce))
         else:
             result = find_best_strategy(setup.graph, setup.space,
                                         setup.tables, order=order,
-                                        memory_budget=budget)
+                                        memory_budget=budget,
+                                        reduce=args.reduce)
     else:
-        result = search_with(setup, args.method, seed=args.seed)
-    from .analysis.reporting import format_table_build_stats
+        result = search_with(setup, args.method, seed=args.seed,
+                             reduce=args.reduce)
+    from .analysis.reporting import format_reduction_stats, format_table_build_stats
 
     print(f"# {args.model} p={args.p} machine={args.machine} "
           f"method={args.method}")
     print(f"# cost={result.cost:.6e} FLOP-equivalents, "
           f"elapsed={result.elapsed:.3f}s")
     print(f"# {format_table_build_stats(setup.tables.build_stats)}")
+    if args.reduce:
+        print(f"# {format_reduction_stats(result.stats)}")
     if resilience is not None:
         print(resilience.summary())
     if args.json:
@@ -105,7 +117,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     rows = []
     base = None
     for method in args.methods:
-        strat = search_with(setup, method, seed=args.seed).strategy
+        strat = search_with(setup, method, seed=args.seed,
+                            reduce=args.reduce).strategy
         rep = simulate_step(setup.graph, strat, machine, args.p,
                             keep_trace=args.gantt)
         if method == "data_parallel":
@@ -187,7 +200,8 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
 
         cache = TableCache(args.table_cache)
     res = pipeline_pase(graph, args.p, args.stages, machine=machine,
-                        mode=args.mode, jobs=args.jobs, cache=cache)
+                        mode=args.mode, jobs=args.jobs, cache=cache,
+                        reduce=args.reduce)
     print(f"# {args.model} p={args.p} stages={args.stages} "
           f"({res.devices_per_stage} devices/stage)")
     for i, (stage, cost) in enumerate(zip(res.stages, res.stage_costs)):

@@ -16,6 +16,7 @@ from .exceptions import (
 from .graph import CompGraph, Edge
 from .machine import GTX1080TI, RTX2080TI, UNIT_BALANCE, MachineSpec
 from .naive import brute_force_strategy, naive_bf_strategy
+from .reduction import ReducedProblem, reduce_problem
 from .sequencer import (
     SequencedGraph,
     breadth_first_seq,
@@ -42,6 +43,7 @@ __all__ = [
     "ConfigError",
     "GraphError",
     "RTX2080TI",
+    "ReducedProblem",
     "SearchResourceError",
     "SearchResult",
     "SequencedGraph",
@@ -62,6 +64,7 @@ __all__ = [
     "generate_seq",
     "naive_bf_strategy",
     "random_seq",
+    "reduce_problem",
     "serial_config",
     "shard_extent",
     "shard_volume",

@@ -101,11 +101,18 @@ def chunked_min_argmin(
 
     best = np.full(table_shape, np.inf, dtype=np.float64)
     best_arg = np.zeros(table_shape, dtype=np.int32)
+    # One transient buffer reused across every chunk: the old path
+    # allocated a fresh array per term per chunk (`acc + view`), which on
+    # big tables spent more time in the allocator than in the adds.  Per
+    # output cell the addition sequence ((t0 + t1) + t2)... is unchanged,
+    # so results stay bit-identical.
+    buf = np.empty(table_shape + (chunk,), dtype=np.float64)
     for c0 in range(0, cfg_count, chunk):
         if deadline is not None and time.perf_counter() > deadline:
             raise TimeoutError("chunked DP evaluation passed its deadline")
         c1 = min(cfg_count, c0 + chunk)
-        acc: np.ndarray | None = None
+        acc = buf[..., :c1 - c0]
+        first = True
         for arr, axes in terms:
             if cfg_axis in axes:
                 sl = [slice(None)] * arr.ndim
@@ -114,11 +121,13 @@ def chunked_min_argmin(
             else:
                 piece = arr
             view = aligned_term(piece, axes, full_axes)
-            acc = view.astype(np.float64) if acc is None else acc + view
-        if acc is None:
-            acc = np.zeros(table_shape + (c1 - c0,), dtype=np.float64)
-        else:
-            acc = np.broadcast_to(acc, table_shape + (c1 - c0,))
+            if first:
+                np.copyto(acc, view)
+                first = False
+            else:
+                np.add(acc, view, out=acc)
+        if first:
+            acc.fill(0.0)
         cand = acc.min(axis=-1)
         arg = acc.argmin(axis=-1).astype(np.int32) + c0
         better = cand < best

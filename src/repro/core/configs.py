@@ -157,6 +157,24 @@ class ConfigSpace:
         """Sum of K_v over nodes (a size proxy used in reports)."""
         return int(sum(t.shape[0] for t in self.tables.values()))
 
+    def restrict(self, rows: "dict[str, np.ndarray]") -> "ConfigSpace":
+        """Sub-space keeping, per node in ``rows``, only the listed
+        configuration rows (original indices); nodes absent from ``rows``
+        are dropped entirely.
+
+        Used by the search-space reduction engine: the row arrays double
+        as the reduced-index -> original-index back-maps.
+        """
+        missing = set(rows) - set(self.tables)
+        if missing:
+            raise ConfigError(
+                f"restrict names unknown nodes: {sorted(missing)[:5]}")
+        tables = {
+            name: self.tables[name][np.asarray(idx, dtype=np.int64)]
+            for name, idx in rows.items()
+        }
+        return ConfigSpace(p=self.p, mode=self.mode, tables=tables)
+
 
 def prune_configs_by_memory(graph: CompGraph, space: ConfigSpace,
                             capacity_bytes: float) -> ConfigSpace:

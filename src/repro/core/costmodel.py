@@ -404,9 +404,11 @@ class CostTables:
         extra = set(indices) - set(self.lc)
         if extra:
             raise StrategyError(f"strategy names unknown nodes: {sorted(extra)[:5]}")
+        # Accumulate in table order, not ``indices`` insertion order, so
+        # equal strategies cost bit-identically however they were built.
         total = 0.0
-        for name, k in indices.items():
-            total += float(self.lc[name][k])
+        for name, arr in self.lc.items():
+            total += float(arr[indices[name]])
         for (u, v), mat in self.pair_tx.items():
             total += float(mat[indices[u], indices[v]])
         return total
@@ -427,3 +429,13 @@ class CostTables:
         total = sum(a.nbytes for a in self.lc.values())
         total += sum(a.nbytes for a in self.pair_tx.values())
         return total
+
+    def work_cells(self) -> int:
+        """Cells actually held: ``Σ_v K_v + Σ_pair K_u · K_v``.
+
+        Unlike :meth:`CostModel.table_work_cells` this counts the stored
+        arrays, so it reflects dominance pruning and chain contraction on
+        derived tables.
+        """
+        return int(sum(a.shape[0] for a in self.lc.values())
+                   + sum(m.size for m in self.pair_tx.values()))

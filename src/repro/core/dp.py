@@ -69,6 +69,7 @@ def find_best_strategy(
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     method_name: str = "pase-dp",
+    reduce: bool = False,
 ) -> SearchResult:
     """Find the minimum-cost strategy under the cost oracle ``tables``.
 
@@ -85,6 +86,12 @@ def find_best_strategy(
     memory_budget:
         Byte budget for live DP tables plus the transient cost array;
         exceeding it raises `SearchResourceError` (Table I's "OOM").
+    reduce:
+        Run the exactness-preserving search-space reduction (dominance
+        pruning + chain contraction, `repro.core.reduction`) first, solve
+        the reduced problem, and expand the optimum back to the original
+        space.  The returned cost is re-evaluated on the original tables;
+        ``stats`` gains the ``reduction_*`` counters.
 
     Returns
     -------
@@ -93,12 +100,33 @@ def find_best_strategy(
         ``peak_bytes``, ``max_dependent`` (M), and ``k_max`` (K).
     """
     t0 = time.perf_counter()
+    if reduce:
+        from .reduction import reduce_problem
+
+        red = reduce_problem(graph, space, tables)
+        sub_order = order
+        if order is not None:
+            live = set(red.survivors)
+            sub_order = tuple(n for n in order if n in live)
+        inner = find_best_strategy(
+            red.reduced_graph, red.reduced_space, red.reduced_tables,
+            order=sub_order, memory_budget=memory_budget,
+            chunk_cells=chunk_cells, method_name=method_name)
+        return red.expand_result(inner, elapsed=time.perf_counter() - t0)
     if order is None:
         order = generate_seq(graph)
     seq = SequencedGraph.build(graph, order)
     n = len(seq)
     if n == 0:
-        return SearchResult(Strategy({}), 0.0, time.perf_counter() - t0, method_name)
+        # Fully-contracted problems legitimately reach the DP with zero
+        # vertices; report real (all-zero) counters so downstream stats
+        # processing never special-cases the empty problem.
+        stats = {"cells": 0.0, "peak_bytes": 0.0, "max_dependent": 0.0,
+                 "k_max": 0.0, "vertices": 0.0}
+        for key, val in tables.build_stats.items():
+            stats[f"table_{key}"] = float(val)
+        return SearchResult(Strategy({}), 0.0, time.perf_counter() - t0,
+                            method_name, stats=stats)
 
     ksize = np.array([space.size(name) for name in seq.order], dtype=np.int64)
     records: list[_VertexRecord | None] = [None] * n

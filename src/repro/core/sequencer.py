@@ -22,6 +22,7 @@ so `SequencedGraph` uses it to annotate arbitrary orderings.
 
 from __future__ import annotations
 
+import heapq
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -54,15 +55,27 @@ def generate_seq(graph: CompGraph) -> tuple[str, ...]:
     smallest ``|v.d|`` (ties broken by graph insertion order, which makes
     the result deterministic) and merges its set into its dependents'.
 
-    Complexity O(|V|^2) set operations, as in the paper.
+    The minimum is tracked with a size-keyed heap under lazy invalidation:
+    every dependent-set change pushes a fresh ``(size, insertion index,
+    name)`` entry, and popped entries whose size no longer matches the live
+    set are discarded.  Sizes both grow (merges) and shrink (each set drops
+    the vertex just sequenced), so staleness is detected by comparing
+    against the live size rather than assuming monotonicity.  The
+    ``(size, insertion index)`` key reproduces the linear scan's
+    first-minimal-in-insertion-order tie-break exactly.
     """
     names = graph.node_names
     dep: dict[str, set[str]] = {n: set(graph.neighbors(n)) for n in names}
-    unsequenced = list(names)
+    idx = {n: i for i, n in enumerate(names)}
+    heap = [(len(dep[n]), i, n) for i, n in enumerate(names)]
+    heapq.heapify(heap)
+    sequenced: set[str] = set()
     order: list[str] = []
-    for _ in range(len(names)):
-        pick = min(unsequenced, key=lambda n: len(dep[n]))
-        unsequenced.remove(pick)
+    while len(order) < len(names):
+        size, _, pick = heapq.heappop(heap)
+        if pick in sequenced or size != len(dep[pick]):
+            continue
+        sequenced.add(pick)
         order.append(pick)
         pick_set = dep[pick]
         for v in pick_set:
@@ -70,6 +83,7 @@ def generate_seq(graph: CompGraph) -> tuple[str, ...]:
             merged.discard(pick)
             merged.discard(v)
             dep[v] = merged
+            heapq.heappush(heap, (len(merged), idx[v], v))
     return tuple(order)
 
 

@@ -159,6 +159,18 @@ class SearchResult:
     method: str
     stats: dict[str, float] = field(default_factory=dict)
 
+    def with_stats(self, **extra: float) -> "SearchResult":
+        """Copy of this result with ``extra`` merged into ``stats``.
+
+        Used to splice phase telemetry (table construction, search-space
+        reduction) onto a search outcome without mutating the original.
+        """
+        merged = dict(self.stats)
+        merged.update(extra)
+        return SearchResult(strategy=self.strategy, cost=self.cost,
+                            elapsed=self.elapsed, method=self.method,
+                            stats=merged)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SearchResult {self.method}: cost={self.cost:.4g} "
                 f"elapsed={self.elapsed:.3f}s>")

@@ -74,7 +74,8 @@ def build_setup(name: str, p: int, *, machine: MachineSpec = GTX1080TI,
 
 def search_with(setup: BenchSetup, method: str, *, seed: int = 0,
                 mcmc_options: MCMCOptions | None = None,
-                bf_time_budget: float | None = 60.0) -> SearchResult:
+                bf_time_budget: float | None = 60.0,
+                reduce: bool = False) -> SearchResult:
     """Run one search/baseline method on a setup.
 
     Baselines that are closed-form (data parallelism, expert) are wrapped
@@ -82,12 +83,14 @@ def search_with(setup: BenchSetup, method: str, *, seed: int = 0,
     DP gets a time budget on top of its byte budget (both failure modes
     surface as `SearchResourceError`, Table I's OOM): on the branchy
     graphs it can grind through hours of chunked table evaluations before
-    finally exceeding memory.
+    finally exceeding memory.  ``reduce`` turns on the exactness-
+    preserving search-space reduction ahead of the DP (method "ours").
     """
     import time
 
     if method == "ours":
-        return find_best_strategy(setup.graph, setup.space, setup.tables)
+        return find_best_strategy(setup.graph, setup.space, setup.tables,
+                                  reduce=reduce)
     if method == "bf":
         return naive_bf_strategy(setup.graph, setup.space, setup.tables,
                                  time_budget=bf_time_budget)

@@ -43,7 +43,8 @@ def run_figure6(*, benchmarks: Sequence[str] = BENCH_ORDER,
                 machines: Sequence[MachineSpec] = (GTX1080TI, RTX2080TI),
                 methods: Sequence[str] = METHODS,
                 seed: int = 0, jobs: int | None = None,
-                cache_dir: str | None = None) -> list[Figure6Point]:
+                cache_dir: str | None = None,
+                reduce: bool = False) -> list[Figure6Point]:
     points: list[Figure6Point] = []
     for machine in machines:
         for bench in benchmarks:
@@ -56,7 +57,8 @@ def run_figure6(*, benchmarks: Sequence[str] = BENCH_ORDER,
                                            "data_parallel",
                                            base.throughput, 1.0))
                 for method in methods:
-                    strat = search_with(setup, method, seed=seed).strategy
+                    strat = search_with(setup, method, seed=seed,
+                                        reduce=reduce).strategy
                     rep = simulate_step(setup.graph, strat, machine, p)
                     points.append(Figure6Point(
                         machine.name, bench, p, method, rep.throughput,
@@ -89,11 +91,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                         "(0 = all cores; default: serial)")
     parser.add_argument("--table-cache", metavar="DIR", default=None,
                         help="cache precomputed cost tables under DIR")
+    parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="exact search-space reduction before the DP")
     args = parser.parse_args(argv)
     points = run_figure6(benchmarks=args.benchmarks,
                          ps=FULL_PS if args.full else DEFAULT_PS,
                          seed=args.seed, jobs=args.jobs,
-                         cache_dir=args.table_cache)
+                         cache_dir=args.table_cache, reduce=args.reduce)
     for machine in ("1080Ti", "2080Ti"):
         fig = "6a" if machine == "1080Ti" else "6b"
         print(f"== Figure {fig}: speedup over data parallelism ({machine}) ==")

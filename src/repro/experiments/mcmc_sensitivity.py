@@ -44,10 +44,10 @@ class SensitivityRow:
 def run_mcmc_sensitivity(*, benchmark: str = "transformer", p: int = 8,
                          seeds: Sequence[int] = (0, 1, 2),
                          max_iters: int = 50_000, jobs: int | None = None,
-                         cache_dir: str | None = None
-                         ) -> list[SensitivityRow]:
+                         cache_dir: str | None = None,
+                         reduce: bool = False) -> list[SensitivityRow]:
     setup = build_setup(benchmark, p, jobs=jobs, cache_dir=cache_dir)
-    optimum = search_with(setup, "ours").cost
+    optimum = search_with(setup, "ours", reduce=reduce).cost
     inits: dict[str, Strategy | None] = {
         "serial": None,
         "data_parallel": data_parallel_strategy(setup.graph, p),
@@ -86,10 +86,14 @@ def main(argv: Sequence[str] | None = None) -> int:
                         "(0 = all cores; default: serial)")
     parser.add_argument("--table-cache", metavar="DIR", default=None,
                         help="cache precomputed cost tables under DIR")
+    parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="exact search-space reduction before the DP")
     args = parser.parse_args(argv)
     rows = run_mcmc_sensitivity(benchmark=args.benchmark, p=args.p,
                                 seeds=tuple(args.seeds), jobs=args.jobs,
-                                cache_dir=args.table_cache)
+                                cache_dir=args.table_cache,
+                                reduce=args.reduce)
     print(format_sensitivity(rows))
     return 0
 

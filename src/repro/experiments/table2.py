@@ -26,14 +26,14 @@ BENCH_ORDER = ("alexnet", "inception_v3", "rnnlm", "transformer")
 
 
 def run_table2(*, p: int = 32, benchmarks: Sequence[str] = BENCH_ORDER,
-               jobs: int | None = None, cache_dir: str | None = None
-               ) -> dict[str, Strategy]:
+               jobs: int | None = None, cache_dir: str | None = None,
+               reduce: bool = False) -> dict[str, Strategy]:
     """Best strategy per benchmark at ``p`` devices (1080Ti balance)."""
     out: dict[str, Strategy] = {}
     for bench in benchmarks:
         setup = build_setup(bench, p, machine=GTX1080TI, jobs=jobs,
                             cache_dir=cache_dir)
-        out[bench] = search_with(setup, "ours").strategy
+        out[bench] = search_with(setup, "ours", reduce=reduce).strategy
     return out
 
 
@@ -106,9 +106,13 @@ def main(argv: Sequence[str] | None = None) -> int:
                         "(0 = all cores; default: serial)")
     parser.add_argument("--table-cache", metavar="DIR", default=None,
                         help="cache precomputed cost tables under DIR")
+    parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
+                        default=False,
+                        help="exact search-space reduction before the DP")
     args = parser.parse_args(argv)
     strategies = run_table2(p=args.p, benchmarks=args.benchmarks,
-                            jobs=args.jobs, cache_dir=args.table_cache)
+                            jobs=args.jobs, cache_dir=args.table_cache,
+                            reduce=args.reduce)
     for bench, strategy in strategies.items():
         setup = build_setup(bench, args.p, machine=GTX1080TI)
         print(f"== {bench} (p={args.p}) ==")

@@ -94,7 +94,8 @@ class PipelineResult:
 def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
                   machine: MachineSpec = GTX1080TI,
                   mode: str = "pow2", jobs: int | None = None,
-                  cache: "object | None" = None) -> PipelineResult:
+                  cache: "object | None" = None,
+                  reduce: bool = False) -> PipelineResult:
     """Partition into pipeline stages, then run PaSE within each stage.
 
     Each stage receives ``p // stages`` devices (must divide evenly) and
@@ -103,7 +104,9 @@ def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
     per-stage assignments and is valid for the whole graph at the
     per-stage device count.  ``jobs``/``cache`` are forwarded to each
     stage's `CostModel.build_tables` (every stage subgraph gets its own
-    cache entry — the digest covers the induced structure).
+    cache entry — the digest covers the induced structure); ``reduce``
+    runs the search-space reduction ahead of each per-stage DP — stage
+    subgraphs are mostly chains, where contraction shines.
     """
     if stages < 1 or p % stages != 0:
         raise StrategyError(f"p={p} must split evenly into {stages} stages")
@@ -118,7 +121,7 @@ def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
         sub = graph.induced_subgraph(part)
         space = ConfigSpace.build(sub, per_stage, mode=mode)
         tables = cm.build_tables(sub, space, jobs=jobs, cache=cache)
-        res = find_best_strategy(sub, space, tables)
+        res = find_best_strategy(sub, space, tables, reduce=reduce)
         strategies.append(res.strategy)
         costs.append(res.cost)
         merged.update(res.strategy.assignment)

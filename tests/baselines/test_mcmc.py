@@ -77,6 +77,25 @@ class TestMCMC:
         serial = Strategy.serial(g)
         assert res.cost <= serial.cost(tables) + 1e-9
 
+    def test_full_cost_gather_matches_scalar_loop(self, problem):
+        """The vectorized full_cost (flat lc/tx gathers) must agree with a
+        straightforward per-term evaluation on random states."""
+        g, space, tables = problem
+        names = list(g.node_names)
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            idx = {n: int(rng.integers(space.size(n))) for n in names}
+            strat = Strategy.from_indices(space, idx)
+            # mcmc_search re-evaluates its best state through full_cost;
+            # a zero-iteration run surfaces it for the init state.
+            res = mcmc_search(g, space, tables, init=strat,
+                              rng=np.random.default_rng(0),
+                              options=MCMCOptions(max_iters=0, min_iters=0))
+            scalar = sum(float(tables.lc[n][idx[n]]) for n in names)
+            for (u, v), mat in tables.pair_tx.items():
+                scalar += float(mat[idx[u], idx[v]])
+            assert res.cost == pytest.approx(scalar, rel=1e-12)
+
     def test_time_budget(self, problem):
         g, space, tables = problem
         res = mcmc_search(g, space, tables, rng=np.random.default_rng(6),

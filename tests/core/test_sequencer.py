@@ -83,6 +83,37 @@ class TestOrderings:
         assert breadth_first_seq(graph) == \
             self._bfs_list_pop_reference(graph)
 
+    def _generate_seq_scan_reference(self, graph):
+        """The original O(n²) linear-scan GENERATESEQ; the heap version
+        must pick identical vertices, ties included."""
+        names = graph.node_names
+        dep = {n: set(graph.neighbors(n)) for n in names}
+        unsequenced = list(names)
+        order = []
+        for _ in range(len(names)):
+            pick = min(unsequenced, key=lambda n: len(dep[n]))
+            unsequenced.remove(pick)
+            order.append(pick)
+            pick_set = dep[pick]
+            for v in pick_set:
+                merged = dep[v] | pick_set
+                merged.discard(pick)
+                merged.discard(v)
+                dep[v] = merged
+        return tuple(order)
+
+    def test_generate_seq_order_unchanged_on_benchmarks(self):
+        from repro.models import BENCHMARKS
+        for factory in BENCHMARKS.values():
+            g = factory()
+            assert generate_seq(g) == self._generate_seq_scan_reference(g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_dags())
+    def test_generate_seq_order_unchanged_random(self, graph):
+        assert generate_seq(graph) == \
+            self._generate_seq_scan_reference(graph)
+
 
 class TestSequencedGraph:
     def test_rejects_non_permutation(self, chain3):

@@ -127,6 +127,54 @@ class TestChunkedMinArgmin:
         assert np.array_equal(one[0], many[0])
         assert np.array_equal(one[1], many[1])
 
+    def _alloc_per_term_reference(self, terms, full_axes, cfg_axis,
+                                  cfg_count, table_shape, chunk_cells):
+        """The pre-buffer-reuse implementation (fresh array per term per
+        chunk).  The shared-buffer path must match it bit for bit."""
+        terms = list(terms)
+        table_cells = int(np.prod(table_shape)) if table_shape else 1
+        chunk = max(1, min(cfg_count, chunk_cells // max(table_cells, 1)))
+        best = np.full(table_shape, np.inf, dtype=np.float64)
+        best_arg = np.zeros(table_shape, dtype=np.int32)
+        for c0 in range(0, cfg_count, chunk):
+            c1 = min(cfg_count, c0 + chunk)
+            acc = None
+            for arr, axes in terms:
+                if cfg_axis in axes:
+                    sl = [slice(None)] * arr.ndim
+                    sl[axes.index(cfg_axis)] = slice(c0, c1)
+                    piece = arr[tuple(sl)]
+                else:
+                    piece = arr
+                view = aligned_term(piece, axes, full_axes)
+                acc = view.astype(np.float64) if acc is None else acc + view
+            if acc is None:
+                acc = np.zeros(table_shape + (c1 - c0,), dtype=np.float64)
+            else:
+                acc = np.broadcast_to(acc, table_shape + (c1 - c0,))
+            cand = acc.min(axis=-1)
+            arg = acc.argmin(axis=-1).astype(np.int32) + c0
+            better = cand < best
+            best = np.where(better, cand, best)
+            best_arg = np.where(better, arg, best_arg)
+        return best, best_arg
+
+    @pytest.mark.parametrize("chunk", [1, 3, 17, 10**9])
+    def test_buffer_reuse_bit_identical_to_per_term_alloc(self, chunk):
+        rng = np.random.default_rng(7)
+        ka, kb, kc = 4, 3, 11
+        terms = [
+            (rng.random(kc) * 1e12, (9,)),
+            (rng.random((kc, ka)) * 1e9, (9, 1)),
+            (rng.random((ka, kb)), (1, 2)),
+            (rng.random((kb, kc)) * 1e6, (2, 9)),
+        ]
+        args = (terms, (1, 2, 9), 9, kc, (ka, kb), chunk)
+        got = chunked_min_argmin(*args)
+        ref = self._alloc_per_term_reference(*args)
+        assert np.array_equal(got[0], ref[0])  # bit-identical, not allclose
+        assert np.array_equal(got[1], ref[1])
+
     def test_term_axes_not_in_target_raises(self):
         """A mislabelled term surfaces aligned_term's error, not a
         silent mis-broadcast."""
