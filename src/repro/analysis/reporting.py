@@ -7,7 +7,7 @@ from typing import Mapping, Sequence
 __all__ = ["format_time", "format_grid", "format_speedup_table",
            "format_fault_table", "format_resilience_report",
            "format_replan_report", "format_table_build_stats",
-           "format_reduction_stats"]
+           "format_reduction_stats", "format_run_report"]
 
 
 def format_time(seconds: float | None) -> str:
@@ -50,7 +50,9 @@ def format_table_build_stats(stats: Mapping[str, float]) -> str:
         return f"cost tables: {seconds:.3f}s (cache hit{size})"
     jobs = int(get("jobs") or 1)
     how = f"parallel x{jobs}" if jobs > 1 else "serial"
-    return f"cost tables: {seconds:.3f}s ({how}{size})"
+    note = " [DEGRADED: pool failed, serial fallback]" if get("degraded") \
+        else ""
+    return f"cost tables: {seconds:.3f}s ({how}{size}){note}"
 
 
 def format_reduction_stats(stats: Mapping[str, float]) -> str:
@@ -70,6 +72,40 @@ def format_reduction_stats(stats: Mapping[str, float]) -> str:
             f"{int(stats.get('reduction_vertices_removed', 0))} vertices and "
             f"{int(stats.get('reduction_configs_removed', 0))} configs removed"
             f"{pct} in {int(stats.get('reduction_rounds', 0))} rounds")
+
+
+def format_run_report(report) -> str:
+    """Multi-line summary of a `repro.runtime.RunReport`.
+
+    Shows how each pipeline phase ran (``journal`` = replayed from a
+    resumed run's snapshot), every degradation event, and the overall
+    verdict with the exit code the CLI maps the outcome to.  A healthy
+    run reads ``completed with zero degradations``.
+    """
+    lines = []
+    for ph in report.phases:
+        lines.append(f"  {ph.name:10s} {ph.seconds:8.3f}s  {ph.status}")
+    if report.degradations:
+        lines.append("  degradations:")
+        lines.extend(f"    - {d}" for d in report.degradations)
+    verdict = {
+        "ok": "completed with zero degradations" if not report.degradations
+              else f"completed, {len(report.degradations)} degradation(s)",
+        "deadline": "DEADLINE EXCEEDED",
+        "interrupted": "INTERRUPTED (journal flushed; re-run with --resume)",
+        "resource-error": "FAILED: resource budget exceeded",
+    }.get(report.outcome, report.outcome)
+    head = "run report"
+    if report.resumed:
+        head += " (resumed from journal)"
+    tail = [f"{head}: {verdict} [exit code {report.exit_code}]"]
+    if report.detail and report.outcome != "ok":
+        tail.append(f"  reason: {report.detail}")
+    if report.best_cost is not None and report.outcome != "ok":
+        tail.append(f"  best cost so far: {report.best_cost:.6e}")
+    if report.journal_path is not None:
+        tail.append(f"  journal: {report.journal_path}")
+    return "\n".join(lines + tail)
 
 
 def format_fault_table(rows: Sequence[tuple[str, object]]) -> str:

@@ -52,52 +52,65 @@ def _add_table_opts(sub: argparse.ArgumentParser) -> None:
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
-    setup = build_setup(args.model, args.p, machine=_MACHINES[args.machine],
-                        mode=args.mode, jobs=args.jobs,
-                        cache_dir=args.table_cache)
-    resilience = None
-    if args.method in ("ours", "bf") and \
+    from .core.configs import ConfigSpace
+    from .core.dp import DEFAULT_MEMORY_BUDGET
+    from .runtime import (Cancellation, RunBudget, SearchJournal,
+                          execute_search, trap_signals)
+
+    if args.resume and args.journal_dir is None:
+        print("pase: --resume requires --journal-dir", file=sys.stderr)
+        return 2
+    machine = _MACHINES[args.machine]
+    graph = BENCHMARKS[args.model]()
+    space = ConfigSpace.build(graph, args.p, mode=args.mode)
+    cache = None
+    if args.table_cache is not None:
+        from .core.tablecache import TableCache
+
+        cache = TableCache(args.table_cache)
+    journal = None
+    if args.journal_dir is not None:
+        journal = SearchJournal(args.journal_dir)
+    # The DP path runs whenever it can honor a custom memory budget /
+    # breadth-first ordering; plain "bf" stays the naive recurrence-(2)
+    # baseline, exactly as before the hardened runtime.
+    method, order = args.method, None
+    if args.method == "bf" and \
             (args.resilient or args.memory_budget is not None):
-        from .core.dp import DEFAULT_MEMORY_BUDGET, find_best_strategy
         from .core.sequencer import breadth_first_seq
 
-        budget = args.memory_budget if args.memory_budget is not None \
-            else DEFAULT_MEMORY_BUDGET
-        order = breadth_first_seq(setup.graph) if args.method == "bf" else None
-        if args.resilient:
-            from functools import partial
-
-            from .resilience import resilient_find_best_strategy
-
-            result, resilience = resilient_find_best_strategy(
-                setup.graph, setup.space, setup.tables, order=order,
-                memory_budget=budget,
-                search_fn=partial(find_best_strategy, reduce=args.reduce))
-        else:
-            result = find_best_strategy(setup.graph, setup.space,
-                                        setup.tables, order=order,
-                                        memory_budget=budget,
-                                        reduce=args.reduce)
-    else:
-        result = search_with(setup, args.method, seed=args.seed,
-                             reduce=args.reduce)
-    from .analysis.reporting import format_reduction_stats, format_table_build_stats
+        method, order = "ours", breadth_first_seq(graph)
+    budget = RunBudget(
+        deadline=args.deadline,
+        memory_budget=args.memory_budget if args.memory_budget is not None
+        else DEFAULT_MEMORY_BUDGET)
+    cancellation = Cancellation()
+    with trap_signals(cancellation):
+        outcome = execute_search(
+            graph, space, machine, method=method, seed=args.seed,
+            order=order, reduce=args.reduce, resilient=args.resilient,
+            jobs=args.jobs, cache=cache, budget=budget,
+            cancellation=cancellation, journal=journal, resume=args.resume)
+    result = outcome.result
+    from .analysis.reporting import (format_reduction_stats, format_run_report,
+                                     format_table_build_stats)
 
     print(f"# {args.model} p={args.p} machine={args.machine} "
           f"method={args.method}")
     print(f"# cost={result.cost:.6e} FLOP-equivalents, "
           f"elapsed={result.elapsed:.3f}s")
-    print(f"# {format_table_build_stats(setup.tables.build_stats)}")
+    print(f"# {format_table_build_stats(result.stats)}")
     if args.reduce:
         print(f"# {format_reduction_stats(result.stats)}")
-    if resilience is not None:
-        print(resilience.summary())
+    if outcome.resilience is not None:
+        print(outcome.resilience.summary())
+    print(format_run_report(outcome.report))
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(result.strategy.to_json())
         print(f"# strategy written to {args.json}")
     else:
-        print(result.strategy.format_table(setup.graph))
+        print(result.strategy.format_table(graph))
     return 0
 
 
@@ -232,7 +245,19 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="pase",
         description="PaSE: automatic DNN parallelization-strategy search "
-                    "(IPDPS 2021 reproduction)")
+                    "(IPDPS 2021 reproduction)",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog=(
+            "exit codes:\n"
+            "  0  success\n"
+            "  1  unexpected internal error\n"
+            "  2  usage error\n"
+            "  3  search resource budget exceeded (SearchResourceError)\n"
+            "  4  cluster-simulation error (SimulationError)\n"
+            "  5  wall-clock deadline exceeded (--deadline)\n"
+            "  6  interrupted by SIGINT/SIGTERM with the journal flushed\n"
+            "     (resume with `search --journal-dir DIR --resume`)\n"
+        ))
     subs = parser.add_subparsers(dest="command", required=True)
 
     p_search = subs.add_parser("search", help="find the best strategy")
@@ -247,6 +272,18 @@ def main(argv: Sequence[str] | None = None) -> int:
                           "of failing on a blown memory budget")
     p_search.add_argument("--memory-budget", type=int, default=None,
                           help="DP byte budget (default 2 GiB)")
+    p_search.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget for the whole run; "
+                          "checked at cooperative checkpoints, exceeding "
+                          "it exits with code 5")
+    p_search.add_argument("--journal-dir", metavar="DIR", default=None,
+                          help="crash-safe run journal: phase snapshots "
+                          "and built tables land here (atomic writes), "
+                          "SIGINT/SIGTERM flush it and exit with code 6")
+    p_search.add_argument("--resume", action="store_true",
+                          help="resume a journalled run from --journal-dir "
+                          "bit-identically (fingerprint-checked)")
     p_search.set_defaults(fn=_cmd_search)
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
@@ -297,7 +334,46 @@ def main(argv: Sequence[str] | None = None) -> int:
                         "(arguments pass through to the experiment driver)")
 
     args = parser.parse_args(argv)
-    return int(args.fn(args) or 0)
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Run a subcommand, mapping library failures to documented exit
+    codes (listed in ``pase --help``).  Terminating errors that carry a
+    `RunReport` print it, so an interrupted or out-of-budget run still
+    tells the user what degraded and where the journal is."""
+    from .core.exceptions import (DeadlineExceededError, JournalError,
+                                  RunInterrupted, SearchResourceError,
+                                  SimulationError)
+    from .runtime import (EXIT_DEADLINE, EXIT_INTERRUPTED, EXIT_RESOURCE,
+                          EXIT_SIMULATION, EXIT_USAGE)
+
+    try:
+        return int(args.fn(args) or 0)
+    except DeadlineExceededError as err:
+        _report_failure("deadline exceeded", err)
+        return EXIT_DEADLINE
+    except RunInterrupted as err:
+        _report_failure("interrupted", err)
+        return EXIT_INTERRUPTED
+    except SearchResourceError as err:
+        _report_failure("search resource budget exceeded", err)
+        return EXIT_RESOURCE
+    except JournalError as err:
+        _report_failure("unusable journal", err)
+        return EXIT_USAGE
+    except SimulationError as err:
+        _report_failure("simulation error", err)
+        return EXIT_SIMULATION
+
+
+def _report_failure(label: str, err: BaseException) -> None:
+    print(f"pase: {label}: {err}", file=sys.stderr)
+    report = getattr(err, "run_report", None)
+    if report is not None:
+        from .analysis.reporting import format_run_report
+
+        print(format_run_report(report), file=sys.stderr)
 
 
 if __name__ == "__main__":  # pragma: no cover

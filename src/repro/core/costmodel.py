@@ -27,9 +27,11 @@ MCMC comparator, and reports all rank strategies with these shared arrays.
 
 from __future__ import annotations
 
+import logging
 import os
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -48,6 +50,13 @@ __all__ = ["CostModel", "CostTables", "allreduce_bytes",
 #: process pool is actually used; below it fork/pickle overhead dominates
 #: and construction stays serial.
 PARALLEL_THRESHOLD_CELLS = 200_000
+
+#: Extra parallel attempts after a pool failure before the serial
+#: fallback, and the backoff slept before each retry.
+PARALLEL_BUILD_RETRIES = 1
+PARALLEL_RETRY_BACKOFF_SECONDS = 0.25
+
+_log = logging.getLogger(__name__)
 
 # Per-worker state installed by the pool initializer (inherited cheaply on
 # fork, re-pickled once per worker on spawn) so tasks only ship indices.
@@ -253,7 +262,9 @@ class CostModel:
 
     def build_tables(self, graph: CompGraph, space: ConfigSpace, *,
                      jobs: int | None = None,
-                     cache: "object | None" = None) -> "CostTables":
+                     cache: "object | None" = None,
+                     checkpoint: Callable[..., None] | None = None,
+                     ) -> "CostTables":
         """Precompute `CostTables` for one (graph, machine, p) instance.
 
         Parameters
@@ -266,15 +277,27 @@ class CostModel:
             regardless — fork/pickle overhead would dominate.  The result
             is bit-identical to the serial path: workers compute exactly
             the arrays the serial loop would, and the parent accumulates
-            them in the serial iteration order.
+            them in the serial iteration order.  A broken pool (worker
+            killed, fork failure) is retried `PARALLEL_BUILD_RETRIES`
+            times with backoff and then *degrades* to the serial path —
+            still bit-identical, recorded in ``build_stats["degraded"]``
+            — instead of crashing the run.
         cache:
             Optional `repro.core.tablecache.TableCache`.  On a digest hit
             the stored arrays are loaded and no matrix is constructed; on
-            a miss the freshly built tables are stored.
+            a miss the freshly built tables are stored — unless the build
+            degraded, in which case the store is skipped (and logged):
+            a build that needed a fallback should never be the one that
+            populates a long-lived cache.
+        checkpoint:
+            Optional cooperative cancellation hook
+            (`repro.runtime.make_checkpoint`), polled between per-node /
+            per-edge tasks and around pool attempts; it aborts the build
+            by raising.  An aborted build never reaches the cache store.
 
         The returned tables carry ``build_stats`` (seconds, cache hit,
-        worker count, table cells) which the searchers surface in
-        ``SearchResult.stats``.
+        worker count, table cells, degradation flags) which the searchers
+        surface in ``SearchResult.stats``.
         """
         t0 = time.perf_counter()
         work_cells = self.table_work_cells(graph, space)
@@ -290,20 +313,19 @@ class CostModel:
                     "cache_hit": 1.0,
                     "jobs": 1.0,
                     "cells": float(work_cells),
+                    "degraded": 0.0,
+                    "parallel_retries": 0.0,
                 }
                 return hit
         n_tasks = len(graph) + len(graph.edges)
         workers = self._resolve_jobs(jobs, work_cells, n_tasks)
+        retries = 0
+        degraded_reason = None
         if workers > 1:
-            lc, edge_mats = self._build_arrays_parallel(graph, space, workers)
+            lc, edge_mats, retries, degraded_reason = \
+                self._build_arrays_hardened(graph, space, workers, checkpoint)
         else:
-            lc = {op.name: self.layer_cost(op, space.configs(op.name))
-                  for op in graph}
-            edge_mats = [
-                self.edge_bytes_matrix(graph, e, space.configs(e.src),
-                                       space.configs(e.dst))
-                for e in graph.edges
-            ]
+            lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
         pair_tx: dict[tuple[str, str], np.ndarray] = {}
         for e, raw in zip(graph.edges, edge_mats):
             mat = raw * self.r
@@ -319,12 +341,76 @@ class CostModel:
         tables.build_stats = {
             "build_seconds": time.perf_counter() - t0,
             "cache_hit": 0.0,
-            "jobs": float(workers),
+            "jobs": 1.0 if degraded_reason is not None else float(workers),
             "cells": float(work_cells),
+            "degraded": 0.0 if degraded_reason is None else 1.0,
+            "parallel_retries": float(retries),
         }
+        if degraded_reason is not None:
+            tables.degraded_reason = degraded_reason
         if cache is not None and digest is not None:
-            cache.store(digest, tables)
+            if degraded_reason is not None:
+                _log.warning(
+                    "not caching tables %s: build degraded to serial after "
+                    "pool failure (%s)", digest[:12], degraded_reason)
+            else:
+                cache.store(digest, tables)
         return tables
+
+    def _build_arrays_serial(
+            self, graph: CompGraph, space: ConfigSpace,
+            checkpoint: Callable[..., None] | None = None,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+        """The reference single-process build (also the degraded path)."""
+        n_tasks = len(graph) + len(graph.edges)
+        lc: dict[str, np.ndarray] = {}
+        for k, op in enumerate(graph):
+            if checkpoint is not None:
+                checkpoint(phase="tables", step=k, total=n_tasks)
+            lc[op.name] = self.layer_cost(op, space.configs(op.name))
+        edge_mats = []
+        for k, e in enumerate(graph.edges):
+            if checkpoint is not None:
+                checkpoint(phase="tables", step=len(graph) + k, total=n_tasks)
+            edge_mats.append(self.edge_bytes_matrix(
+                graph, e, space.configs(e.src), space.configs(e.dst)))
+        return lc, edge_mats
+
+    def _build_arrays_hardened(
+            self, graph: CompGraph, space: ConfigSpace, workers: int,
+            checkpoint: Callable[..., None] | None = None,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray], int, str | None]:
+        """Parallel build with retry-then-serial degradation.
+
+        A dead worker (OOM-killed, segfaulted, SIGKILLed) surfaces as
+        `BrokenProcessPool`; pool setup itself can raise `OSError`
+        (fork/pipe exhaustion).  Both are retried with backoff, then the
+        bit-identical serial path takes over.  Returns ``(lc, edge_mats,
+        retries_used, degraded_reason)``.
+        """
+        from concurrent.futures.process import BrokenProcessPool
+
+        last_error: BaseException | None = None
+        for attempt in range(1 + PARALLEL_BUILD_RETRIES):
+            if checkpoint is not None:
+                checkpoint(phase="tables")
+            if attempt:
+                time.sleep(PARALLEL_RETRY_BACKOFF_SECONDS * attempt)
+            try:
+                lc, edge_mats = self._build_arrays_parallel(
+                    graph, space, workers)
+                return lc, edge_mats, attempt, None
+            except (BrokenProcessPool, OSError) as err:
+                last_error = err
+                _log.warning(
+                    "parallel table build attempt %d/%d failed (%s: %s)",
+                    attempt + 1, 1 + PARALLEL_BUILD_RETRIES,
+                    type(err).__name__, err)
+        reason = f"{type(last_error).__name__}: {last_error}"
+        _log.warning("parallel table build degraded to serial after "
+                     "%d attempts (%s)", 1 + PARALLEL_BUILD_RETRIES, reason)
+        lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
+        return lc, edge_mats, PARALLEL_BUILD_RETRIES, reason
 
     def _build_arrays_parallel(
             self, graph: CompGraph, space: ConfigSpace, workers: int,
@@ -382,6 +468,9 @@ class CostTables:
     pair_tx: dict[tuple[str, str], np.ndarray]
     derived: bool = False
     build_stats: dict[str, float] = field(default_factory=dict, repr=False)
+    #: Human-readable reason when the parallel build fell back to serial
+    #: (None for clean builds); surfaced in the hardened runtime's report.
+    degraded_reason: str | None = field(default=None, repr=False)
     _nbr_cache: dict[str, tuple[str, ...]] = field(default_factory=dict, repr=False)
 
     def tx(self, u: str, v: str) -> np.ndarray:

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -70,6 +70,7 @@ def find_best_strategy(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     method_name: str = "pase-dp",
     reduce: bool = False,
+    checkpoint: Callable[..., None] | None = None,
 ) -> SearchResult:
     """Find the minimum-cost strategy under the cost oracle ``tables``.
 
@@ -92,6 +93,14 @@ def find_best_strategy(
         the reduced problem, and expand the optimum back to the original
         space.  The returned cost is re-evaluated on the original tables;
         ``stats`` gains the ``reduction_*`` counters.
+    checkpoint:
+        Optional cooperative cancellation hook
+        (`repro.runtime.make_checkpoint`), polled once per DP vertex
+        (and per reduction round when ``reduce`` is on) with
+        ``phase``/``step``/``total`` keywords.  It aborts the search by
+        raising — e.g. `DeadlineExceededError` or `RunInterrupted` —
+        always between vertices, never mid-table, so no partial state
+        escapes.
 
     Returns
     -------
@@ -103,7 +112,7 @@ def find_best_strategy(
     if reduce:
         from .reduction import reduce_problem
 
-        red = reduce_problem(graph, space, tables)
+        red = reduce_problem(graph, space, tables, checkpoint=checkpoint)
         sub_order = order
         if order is not None:
             live = set(red.survivors)
@@ -111,7 +120,8 @@ def find_best_strategy(
         inner = find_best_strategy(
             red.reduced_graph, red.reduced_space, red.reduced_tables,
             order=sub_order, memory_budget=memory_budget,
-            chunk_cells=chunk_cells, method_name=method_name)
+            chunk_cells=chunk_cells, method_name=method_name,
+            checkpoint=checkpoint)
         return red.expand_result(inner, elapsed=time.perf_counter() - t0)
     if order is None:
         order = generate_seq(graph)
@@ -135,6 +145,8 @@ def find_best_strategy(
     cells_evaluated = 0
 
     for i in range(n):
+        if checkpoint is not None:
+            checkpoint(phase="dp", step=i, total=n)
         dep = seq.dep[i]
         comps = seq.connected_subsets(i)
         children = tuple(max(c) for c in comps)

@@ -48,6 +48,46 @@ class SearchResourceError(PaseError):
         return base
 
 
+class DeadlineExceededError(PaseError):
+    """Raised when a run blows through its wall-clock deadline.
+
+    Searches under a `repro.runtime.RunBudget` poll the budget at
+    cooperative checkpoints (between table-build tasks, reduction rounds,
+    and DP vertices); the first poll past the deadline raises this error
+    so the run stops at a phase boundary instead of being killed.
+    """
+
+    def __init__(self, message: str, *, deadline_seconds: float | None = None,
+                 elapsed_seconds: float | None = None,
+                 where: str | None = None) -> None:
+        super().__init__(message)
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+        self.where = where
+
+
+class RunInterrupted(PaseError):
+    """Raised at a cooperative checkpoint after SIGINT/SIGTERM.
+
+    The signal handler only sets a flag (`repro.runtime.Cancellation`);
+    the working code observes it at the next checkpoint, flushes the
+    search journal, and unwinds with this exception so the CLI can exit
+    with its documented interrupted-with-journal code.
+    """
+
+    def __init__(self, message: str, *, signal_name: str | None = None,
+                 where: str | None = None) -> None:
+        super().__init__(message)
+        self.signal_name = signal_name
+        self.where = where
+
+
+class JournalError(PaseError):
+    """Raised for unusable search journals (missing or corrupt journal
+    file on ``--resume``, or a journal written for a different problem
+    fingerprint than the one being resumed)."""
+
+
 class SimulationError(PaseError):
     """Raised for inconsistent cluster-simulation inputs (unplaced shards,
     unknown devices, dependency cycles in the task graph)."""

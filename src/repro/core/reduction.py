@@ -45,7 +45,7 @@ from __future__ import annotations
 import math
 import time
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
@@ -370,7 +370,9 @@ def _min_over_middle(lc_w: np.ndarray, mat_uw: np.ndarray,
 
 def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
                    *, dominance: bool = True, contraction: bool = True,
-                   max_rounds: int = 64) -> ReducedProblem:
+                   max_rounds: int = 64,
+                   checkpoint: "Callable[..., None] | None" = None,
+                   ) -> ReducedProblem:
     """Shrink a search problem by dominance pruning and chain contraction.
 
     Iterates both rules to a fixed point (or ``max_rounds``).  The
@@ -378,6 +380,8 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
     ``base_cost`` equals the original optimum, and
     :meth:`ReducedProblem.expand_indices` recovers a witnessing strategy.
     Runs *after* any table-cache lookup, so cached tables stay canonical.
+    ``checkpoint`` (`repro.runtime.make_checkpoint`) is polled once per
+    fixed-point round; it aborts by raising, always between rounds.
     """
     t0 = time.perf_counter()
     red = _Reducer(graph, space, tables)
@@ -387,6 +391,8 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
     rounds = 0
     changed = True
     while changed and rounds < max_rounds:
+        if checkpoint is not None:
+            checkpoint(phase="reduction", step=rounds, total=max_rounds)
         changed = False
         rounds += 1
         if dominance:

@@ -30,6 +30,14 @@ by the size cap.
 cache is bounded by ``max_bytes``; storing past the cap evicts the
 least-recently-used entries (by file mtime — hits re-touch their entry).
 
+**Corruption.**  The manifest carries a sha256 over every stored array's
+raw bytes (`payload_checksum`), verified on load.  An entry that fails
+to parse, fails its checksum, or does not match the live configuration
+space is **quarantined** — moved to a ``corrupt/`` subdirectory and
+counted in ``TableCache.quarantined`` — and reported as a plain miss, so
+a truncated or bit-flipped file costs one rebuild, never a crash, while
+the evidence is kept for inspection instead of silently deleted.
+
 Tables marked ``derived`` (e.g. resilience coarsening slices) are refused
 by :meth:`TableCache.store`: their digest would describe the original
 space and poison later lookups.
@@ -39,8 +47,10 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import tempfile
+import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
 
@@ -57,7 +67,10 @@ __all__ = ["TableCache", "table_digest", "DEFAULT_CACHE_BYTES",
            "CACHE_DIR_ENV", "CACHE_BYTES_ENV"]
 
 #: Stored-layout version; bump to invalidate every existing entry.
-_FORMAT_VERSION = 1
+#: v2 added the manifest payload checksum.
+_FORMAT_VERSION = 2
+
+_log = logging.getLogger(__name__)
 
 #: Default size cap for the cache directory (bytes).
 DEFAULT_CACHE_BYTES = 1 << 30
@@ -68,6 +81,18 @@ CACHE_BYTES_ENV = "PASE_TABLE_CACHE_BYTES"
 
 #: Separator joining pair keys in the manifest (never appears in names).
 _PAIR_SEP = "\x1f"
+
+
+def _payload_checksum(arrays) -> str:
+    """sha256 over the stored arrays' dtype/shape/raw bytes, in manifest
+    order — the integrity check `TableCache.load` verifies."""
+    h = hashlib.sha256()
+    for arr in arrays:
+        a = np.ascontiguousarray(arr)
+        h.update(str(a.dtype).encode())
+        h.update(str(a.shape).encode())
+        h.update(a.tobytes())
+    return h.hexdigest()
 
 
 def _tensor_desc(spec) -> list:
@@ -144,11 +169,17 @@ class TableCache:
         if max_bytes <= 0:
             raise ValueError(f"max_bytes={max_bytes} must be positive")
         self.max_bytes = int(max_bytes)
+        #: Entries quarantined by this instance (corrupt/truncated files).
+        self.quarantined = 0
 
     # -- paths ---------------------------------------------------------------
 
     def path_for(self, digest: str) -> Path:
         return self.root / f"{digest}.npz"
+
+    @property
+    def corrupt_dir(self) -> Path:
+        return self.root / "corrupt"
 
     def entries(self) -> Iterator[Path]:
         if not self.root.is_dir():
@@ -171,11 +202,14 @@ class TableCache:
         self.root.mkdir(parents=True, exist_ok=True)
         node_names = list(tables.lc)
         pair_keys = list(tables.pair_tx)
+        payload = [tables.lc[n] for n in node_names] + \
+            [tables.pair_tx[k] for k in pair_keys]
         manifest = {
             "version": _FORMAT_VERSION,
             "digest": digest,
             "nodes": node_names,
             "pairs": [_PAIR_SEP.join(k) for k in pair_keys],
+            "payload_checksum": _payload_checksum(payload),
         }
         arrays = {"manifest": np.array(json.dumps(manifest))}
         for i, name in enumerate(node_names):
@@ -200,8 +234,10 @@ class TableCache:
         """Reconstruct `CostTables` for a digest, or None on a miss.
 
         The caller supplies the live graph/space/machine objects (the
-        digest guarantees they describe the stored arrays); a corrupt or
-        incompatible entry is treated as a miss and removed.
+        digest guarantees they describe the stored arrays).  A corrupt,
+        truncated, checksum-failing, or incompatible entry is quarantined
+        to ``corrupt/`` and reported as a miss — the caller rebuilds; the
+        run never crashes on a bad cache file.
         """
         from .costmodel import CostTables
 
@@ -220,16 +256,37 @@ class TableCache:
                 for i, joined in enumerate(manifest["pairs"]):
                     u, v = joined.split(_PAIR_SEP)
                     pair_tx[(u, v)] = data[f"tx_{i}"]
-        except (OSError, ValueError, KeyError, json.JSONDecodeError):
-            path.unlink(missing_ok=True)
+            payload = list(lc.values()) + list(pair_tx.values())
+            if _payload_checksum(payload) != manifest.get("payload_checksum"):
+                raise ValueError("payload checksum mismatch")
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, json.JSONDecodeError) as err:
+            self._quarantine(path, reason=str(err))
             return None
         if set(lc) != set(space.tables) or \
                 any(lc[n].shape[0] != space.size(n) for n in lc):
-            path.unlink(missing_ok=True)
+            self._quarantine(path, reason="stored shapes do not match the "
+                             "live configuration space")
             return None
         os.utime(path)  # LRU touch
         return CostTables(graph=graph, space=space, machine=machine,
                           lc=lc, pair_tx=pair_tx)
+
+    def _quarantine(self, path: Path, *, reason: str) -> None:
+        """Move a bad entry to ``corrupt/`` (counted, never re-read).
+
+        ``entries()`` only globs the cache root, so quarantined files are
+        invisible to hits and eviction; they persist for inspection until
+        someone clears the subdirectory.
+        """
+        self.quarantined += 1
+        _log.warning("quarantining corrupt table-cache entry %s (%s)",
+                     path.name, reason)
+        try:
+            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, self.corrupt_dir / path.name)
+        except OSError:
+            path.unlink(missing_ok=True)
 
     # -- maintenance ---------------------------------------------------------
 

@@ -16,6 +16,7 @@ from typing import Sequence
 from ..analysis.reporting import format_speedup_table
 from ..cluster.simulator import simulate_step
 from ..core.machine import GTX1080TI, RTX2080TI, MachineSpec
+from ..runtime import EXIT_DEADLINE, RunBudget
 from .common import build_setup, search_with
 
 __all__ = ["Figure6Point", "run_figure6", "main", "DEFAULT_PS"]
@@ -44,11 +45,18 @@ def run_figure6(*, benchmarks: Sequence[str] = BENCH_ORDER,
                 methods: Sequence[str] = METHODS,
                 seed: int = 0, jobs: int | None = None,
                 cache_dir: str | None = None,
-                reduce: bool = False) -> list[Figure6Point]:
+                reduce: bool = False,
+                budget: RunBudget | None = None) -> list[Figure6Point]:
+    """An expired ``budget`` deadline stops the sweep at the next
+    (machine, benchmark, p) cell and returns the points measured so far.
+    """
+    budget = (budget or RunBudget()).start()
     points: list[Figure6Point] = []
     for machine in machines:
         for bench in benchmarks:
             for p in ps:
+                if budget.expired:
+                    return points
                 setup = build_setup(bench, p, machine=machine, jobs=jobs,
                                     cache_dir=cache_dir)
                 dp = search_with(setup, "data_parallel").strategy
@@ -94,16 +102,27 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="exact search-space reduction before the DP")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop the sweep at the next (machine, "
+                        "benchmark, p) cell once this wall-clock budget "
+                        "expires (partial results, exit code 5)")
     args = parser.parse_args(argv)
+    budget = RunBudget(deadline=args.deadline).start()
     points = run_figure6(benchmarks=args.benchmarks,
                          ps=FULL_PS if args.full else DEFAULT_PS,
                          seed=args.seed, jobs=args.jobs,
-                         cache_dir=args.table_cache, reduce=args.reduce)
+                         cache_dir=args.table_cache, reduce=args.reduce,
+                         budget=budget)
     for machine in ("1080Ti", "2080Ti"):
         fig = "6a" if machine == "1080Ti" else "6b"
         print(f"== Figure {fig}: speedup over data parallelism ({machine}) ==")
         print(as_table(points, machine))
         print()
+    if budget.expired:
+        print(f"deadline of {args.deadline:.1f}s exceeded after "
+              f"{len(points)} point(s): partial results above")
+        return EXIT_DEADLINE
     return 0
 
 

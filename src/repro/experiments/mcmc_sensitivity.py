@@ -24,6 +24,7 @@ from ..baselines import (
     mcmc_search,
 )
 from ..core.strategy import Strategy
+from ..runtime import EXIT_DEADLINE, RunBudget
 from .common import build_setup, search_with
 
 __all__ = ["run_mcmc_sensitivity", "SensitivityRow", "main"]
@@ -45,7 +46,13 @@ def run_mcmc_sensitivity(*, benchmark: str = "transformer", p: int = 8,
                          seeds: Sequence[int] = (0, 1, 2),
                          max_iters: int = 50_000, jobs: int | None = None,
                          cache_dir: str | None = None,
-                         reduce: bool = False) -> list[SensitivityRow]:
+                         reduce: bool = False,
+                         budget: RunBudget | None = None
+                         ) -> list[SensitivityRow]:
+    """An expired ``budget`` deadline stops the sweep at the next
+    (init, seed) MCMC run and returns the rows measured so far.
+    """
+    budget = (budget or RunBudget()).start()
     setup = build_setup(benchmark, p, jobs=jobs, cache_dir=cache_dir)
     optimum = search_with(setup, "ours", reduce=reduce).cost
     inits: dict[str, Strategy | None] = {
@@ -57,6 +64,8 @@ def run_mcmc_sensitivity(*, benchmark: str = "transformer", p: int = 8,
     options = MCMCOptions(max_iters=max_iters, min_iters=max_iters // 5)
     for label, init in inits.items():
         for seed in seeds:
+            if budget.expired:
+                return rows
             res = mcmc_search(setup.graph, setup.space, setup.tables,
                               init=init, rng=np.random.default_rng(seed),
                               options=options)
@@ -89,12 +98,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="exact search-space reduction before the DP")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop the sweep at the next (init, seed) run "
+                        "once this wall-clock budget expires (partial "
+                        "results, exit code 5)")
     args = parser.parse_args(argv)
+    budget = RunBudget(deadline=args.deadline).start()
     rows = run_mcmc_sensitivity(benchmark=args.benchmark, p=args.p,
                                 seeds=tuple(args.seeds), jobs=args.jobs,
                                 cache_dir=args.table_cache,
-                                reduce=args.reduce)
+                                reduce=args.reduce, budget=budget)
     print(format_sensitivity(rows))
+    if budget.expired:
+        print(f"deadline of {args.deadline:.1f}s exceeded after "
+              f"{len(rows)} row(s): partial results above")
+        return EXIT_DEADLINE
     return 0
 
 

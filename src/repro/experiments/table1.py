@@ -14,6 +14,7 @@ from typing import Sequence
 from ..analysis.reporting import format_grid, format_time
 from ..core.exceptions import SearchResourceError
 from ..core.machine import GTX1080TI
+from ..runtime import EXIT_DEADLINE, RunBudget
 from .common import build_setup, search_with
 
 __all__ = ["Table1Cell", "run_table1", "main", "DEFAULT_PS", "FULL_PS"]
@@ -47,7 +48,8 @@ def run_table1(*, benchmarks: Sequence[str] = BENCH_ORDER,
                methods: Sequence[str] = METHOD_ORDER,
                seed: int = 0, jobs: int | None = None,
                cache_dir: str | None = None,
-               reduce: bool = False) -> list[Table1Cell]:
+               reduce: bool = False,
+               budget: RunBudget | None = None) -> list[Table1Cell]:
     """Time every (benchmark, p, method) combination.
 
     BF's state-space blow-ups surface as `SearchResourceError` and are
@@ -55,14 +57,21 @@ def run_table1(*, benchmarks: Sequence[str] = BENCH_ORDER,
     ``cache_dir`` speed up cost-table construction only — the timed
     search phase is unaffected.  ``reduce`` runs the exact search-space
     reduction ahead of the "ours" DP (its seconds are part of the timed
-    search, so the column stays honest).
+    search, so the column stays honest).  An expired ``budget`` deadline
+    stops the sweep at the next cell boundary and returns the cells
+    measured so far (partial results, never a crash).
     """
+    budget = (budget or RunBudget()).start()
     cells: list[Table1Cell] = []
     for bench in benchmarks:
         for p in ps:
+            if budget.expired:
+                return cells
             setup = build_setup(bench, p, machine=GTX1080TI, jobs=jobs,
                                 cache_dir=cache_dir)
             for method in methods:
+                if budget.expired:
+                    return cells
                 try:
                     res = search_with(setup, method, seed=seed,
                                       reduce=reduce)
@@ -106,12 +115,23 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="exact search-space reduction before the DP")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop the sweep at the next cell boundary once "
+                        "this wall-clock budget expires (partial table, "
+                        "exit code 5)")
     args = parser.parse_args(argv)
+    budget = RunBudget(deadline=args.deadline).start()
     cells = run_table1(benchmarks=args.benchmarks,
                        ps=FULL_PS if args.full else DEFAULT_PS,
                        seed=args.seed, jobs=args.jobs,
-                       cache_dir=args.table_cache, reduce=args.reduce)
+                       cache_dir=args.table_cache, reduce=args.reduce,
+                       budget=budget)
     print(format_table1(cells))
+    if budget.expired:
+        print(f"deadline of {args.deadline:.1f}s exceeded after "
+              f"{len(cells)} cell(s): partial results above")
+        return EXIT_DEADLINE
     return 0
 
 

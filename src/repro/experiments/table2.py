@@ -18,6 +18,7 @@ from typing import Sequence
 
 from ..core.machine import GTX1080TI
 from ..core.strategy import Strategy
+from ..runtime import EXIT_DEADLINE, RunBudget
 from .common import build_setup, search_with
 
 __all__ = ["run_table2", "strategy_structure_checks", "main"]
@@ -27,10 +28,18 @@ BENCH_ORDER = ("alexnet", "inception_v3", "rnnlm", "transformer")
 
 def run_table2(*, p: int = 32, benchmarks: Sequence[str] = BENCH_ORDER,
                jobs: int | None = None, cache_dir: str | None = None,
-               reduce: bool = False) -> dict[str, Strategy]:
-    """Best strategy per benchmark at ``p`` devices (1080Ti balance)."""
+               reduce: bool = False,
+               budget: RunBudget | None = None) -> dict[str, Strategy]:
+    """Best strategy per benchmark at ``p`` devices (1080Ti balance).
+
+    An expired ``budget`` deadline stops the sweep at the next benchmark
+    boundary and returns the strategies found so far.
+    """
+    budget = (budget or RunBudget()).start()
     out: dict[str, Strategy] = {}
     for bench in benchmarks:
+        if budget.expired:
+            return out
         setup = build_setup(bench, p, machine=GTX1080TI, jobs=jobs,
                             cache_dir=cache_dir)
         out[bench] = search_with(setup, "ours", reduce=reduce).strategy
@@ -109,10 +118,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser.add_argument("--reduce", action=argparse.BooleanOptionalAction,
                         default=False,
                         help="exact search-space reduction before the DP")
+    parser.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="stop the sweep at the next benchmark boundary "
+                        "once this wall-clock budget expires (partial "
+                        "results, exit code 5)")
     args = parser.parse_args(argv)
+    budget = RunBudget(deadline=args.deadline).start()
     strategies = run_table2(p=args.p, benchmarks=args.benchmarks,
                             jobs=args.jobs, cache_dir=args.table_cache,
-                            reduce=args.reduce)
+                            reduce=args.reduce, budget=budget)
     for bench, strategy in strategies.items():
         setup = build_setup(bench, args.p, machine=GTX1080TI)
         print(f"== {bench} (p={args.p}) ==")
@@ -120,6 +135,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         print()
     for check, ok in strategy_structure_checks(strategies, args.p).items():
         print(f"{'PASS' if ok else 'FAIL'}  {check}")
+    if budget.expired:
+        print(f"deadline of {args.deadline:.1f}s exceeded after "
+              f"{len(strategies)}/{len(args.benchmarks)} benchmark(s): "
+              "partial results above")
+        return EXIT_DEADLINE
     return 0
 
 

@@ -135,24 +135,28 @@ def resilient_find_best_strategy(
     coarsen_rounds: int = 3,
     method_name: str = "pase-dp-resilient",
     search_fn: Callable[..., SearchResult] = find_best_strategy,
+    checkpoint: Callable[..., None] | None = None,
 ) -> tuple[SearchResult, ResilienceReport]:
     """Run the DP with graceful degradation instead of a hard failure.
 
     Returns the first successful `SearchResult` together with the
     `ResilienceReport` of every attempt.  When all rungs fail, the last
     `SearchResourceError` is re-raised with the report attached as
-    ``err.report``.
+    ``err.report``.  ``checkpoint`` (`repro.runtime.make_checkpoint`) is
+    forwarded into every rung's search, so a deadline or SIGINT stops
+    the ladder mid-rung instead of grinding through the remaining ones.
     """
     report = ResilienceReport()
 
     def attempt(stage: str, detail: str, *, a_order, a_chunk,
                 a_space, a_tables) -> SearchResult | None:
         t0 = time.perf_counter()
+        extra = {} if checkpoint is None else {"checkpoint": checkpoint}
         try:
             result = search_fn(graph, a_space, a_tables, order=a_order,
                                memory_budget=memory_budget,
                                chunk_cells=a_chunk,
-                               method_name=method_name)
+                               method_name=method_name, **extra)
         except SearchResourceError as err:
             report.attempts.append(AttemptRecord(
                 stage=stage, detail=detail,

@@ -1,0 +1,46 @@
+"""Hardened execution runtime for the strategy-search pipeline.
+
+Wraps table build → reduction → DP / resilient ladder in a wall-clock +
+memory `RunBudget` with cooperative cancellation, crash-safe journaling
+(`SearchJournal`) for bit-identical resume, signal trapping, and a
+structured `RunReport` with documented per-failure exit codes.
+"""
+
+from .budget import Cancellation, RunBudget, make_checkpoint
+from .journal import JOURNAL_VERSION, SearchJournal
+from .report import (
+    EXIT_CODES,
+    EXIT_DEADLINE,
+    EXIT_ERROR,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_RESOURCE,
+    EXIT_SIMULATION,
+    EXIT_USAGE,
+    PhaseRecord,
+    RunReport,
+)
+from .run import RunOutcome, execute_search, run_fingerprint
+from .signals import trap_signals
+
+__all__ = [
+    "Cancellation",
+    "RunBudget",
+    "make_checkpoint",
+    "SearchJournal",
+    "JOURNAL_VERSION",
+    "PhaseRecord",
+    "RunReport",
+    "RunOutcome",
+    "execute_search",
+    "run_fingerprint",
+    "trap_signals",
+    "EXIT_CODES",
+    "EXIT_OK",
+    "EXIT_ERROR",
+    "EXIT_USAGE",
+    "EXIT_RESOURCE",
+    "EXIT_SIMULATION",
+    "EXIT_DEADLINE",
+    "EXIT_INTERRUPTED",
+]

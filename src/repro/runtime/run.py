@@ -1,0 +1,291 @@
+"""The hardened execution runtime: one entry point for the full pipeline.
+
+:func:`execute_search` wraps **table build → (reduction) → DP / resilient
+ladder / baseline** in a `RunBudget` with cooperative cancellation
+checkpoints, optional crash-safe journaling, and structured reporting.
+Every failure mode degrades instead of crashing:
+
+* a pool worker dying mid `CostModel.build_tables` retries with backoff,
+  then falls back bit-identically to the serial path (recorded, never
+  silent);
+* corrupt table-cache entries are quarantined and rebuilt;
+* SIGINT/SIGTERM and deadline expiry unwind at the next checkpoint with
+  the journal flushed, so ``--resume`` replays the run bit-identically —
+  tables come back from the journal's content-addressed store and the DP
+  is deterministic, so an interrupted-then-resumed run returns exactly
+  the strategy and cost an uninterrupted run would.
+
+The terminating exception of an unsuccessful run carries the structured
+`RunReport` as ``err.run_report`` so the CLI can print what happened and
+exit with the documented per-failure code.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..core.configs import ConfigSpace
+from ..core.costmodel import CostModel, CostTables
+from ..core.dp import find_best_strategy
+from ..core.exceptions import (
+    DeadlineExceededError,
+    JournalError,
+    RunInterrupted,
+    SearchResourceError,
+)
+from ..core.graph import CompGraph
+from ..core.machine import MachineSpec
+from ..core.strategy import SearchResult
+from .budget import Cancellation, RunBudget, make_checkpoint
+from .journal import SearchJournal
+from .report import RunReport
+
+__all__ = ["RunOutcome", "execute_search", "run_fingerprint"]
+
+#: Fingerprint schema version (bump when fields change — a resume across
+#: versions must fail loudly, not silently re-interpret old state).
+_FINGERPRINT_VERSION = 1
+
+
+@dataclass
+class RunOutcome:
+    """Everything a successful hardened run produced."""
+
+    result: SearchResult
+    report: RunReport
+    tables: CostTables | None = None
+    resilience: "object | None" = None  # ResilienceReport when --resilient
+
+
+def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
+                    *, method: str, seed: int, reduce: bool, resilient: bool,
+                    memory_budget: int,
+                    order: Sequence[str] | None) -> dict:
+    """Canonical description of everything the run's *answer* depends on.
+
+    Built on `table_digest` (graph, machine, configuration space, cost
+    model) plus the search parameters.  Two runs with equal fingerprints
+    return bit-identical results, which is exactly the property that
+    makes journal resume sound.  Deliberately excludes budgets' wall
+    clocks and jobs/cache knobs — those change how fast the answer
+    arrives, not what it is.
+    """
+    from ..core.tablecache import table_digest
+
+    return {
+        "version": _FINGERPRINT_VERSION,
+        "tables_digest": table_digest(graph, space, model),
+        "method": method,
+        "seed": int(seed),
+        "reduce": bool(reduce),
+        "resilient": bool(resilient),
+        "memory_budget": int(memory_budget),
+        "order": None if order is None else list(order),
+        "p": int(space.p),
+        "mode": space.mode,
+        "machine": model.machine.name,
+    }
+
+
+def execute_search(
+    graph: CompGraph,
+    space: ConfigSpace,
+    machine: MachineSpec | None = None,
+    *,
+    model: CostModel | None = None,
+    method: str = "ours",
+    seed: int = 0,
+    order: Sequence[str] | None = None,
+    reduce: bool = False,
+    resilient: bool = False,
+    jobs: int | None = None,
+    cache: "object | None" = None,
+    budget: RunBudget | None = None,
+    cancellation: Cancellation | None = None,
+    journal: SearchJournal | None = None,
+    resume: bool = False,
+) -> RunOutcome:
+    """Run the full search pipeline under the hardened runtime.
+
+    Parameters
+    ----------
+    graph, space, machine / model:
+        The problem instance; pass either the `MachineSpec` or a
+        pre-configured `CostModel` (ablation flags).
+    method:
+        ``"ours"`` runs the tensorized DP (optionally ``resilient`` /
+        ``reduce`` / with a caller ``order``); anything else dispatches
+        to the matching baseline via `repro.experiments.common`.
+    jobs, cache:
+        Table-construction parallelism and on-disk cache, as in
+        `CostModel.build_tables`.  When a ``journal`` is given its
+        embedded table store is used instead of ``cache``, so resumes
+        find the interrupted build's tables.
+    budget, cancellation:
+        The run's `RunBudget` (deadline + DP memory) and `Cancellation`
+        token (pair with `trap_signals` for SIGINT/SIGTERM handling).
+    journal, resume:
+        Crash-safe journaling.  ``resume=True`` requires a journal whose
+        fingerprint matches this run; a journal holding a finished
+        search replays it without recomputing anything.
+
+    Returns a `RunOutcome`; on failure raises the underlying error
+    (`DeadlineExceededError`, `RunInterrupted`, `SearchResourceError`)
+    with the structured `RunReport` attached as ``err.run_report`` and
+    the journal flushed.
+    """
+    if model is None:
+        if machine is None:
+            raise ValueError("pass either machine= or model=")
+        model = CostModel(machine)
+    machine = model.machine
+    budget = (budget or RunBudget()).start()
+    cancellation = cancellation or Cancellation()
+    checkpoint = make_checkpoint(budget, cancellation, journal)
+    report = RunReport(
+        journal_path=None if journal is None else str(journal.path))
+
+    fingerprint = run_fingerprint(
+        graph, space, model, method=method, seed=seed, reduce=reduce,
+        resilient=resilient, memory_budget=budget.memory_budget, order=order)
+
+    if journal is None:
+        if resume:
+            raise JournalError("--resume requires a journal "
+                               "(pass journal= / --journal-dir)")
+    else:
+        report.resumed = journal.open(fingerprint, resume=resume)
+        if report.resumed:
+            prior = journal.load_result()
+            if prior is not None:
+                # The journalled search finished: replay it verbatim.
+                for ev in journal.events:
+                    report.degrade(f"{ev['kind']}: {ev['detail']}")
+                report.add_phase("tables", 0.0, "journal")
+                report.add_phase("search", 0.0, "journal")
+                report.best_cost = prior.cost
+                return RunOutcome(result=prior, report=report)
+
+    phase = ["tables", time.perf_counter()]
+
+    def _enter(name: str) -> float:
+        phase[0] = name
+        phase[1] = time.perf_counter()
+        return phase[1]
+
+    try:
+        # -- phase 1: cost tables (journal store beats the user cache) ----
+        _enter("tables")
+        eff_cache = cache if journal is None else journal.table_cache()
+        tables = model.build_tables(graph, space, jobs=jobs,
+                                    cache=eff_cache, checkpoint=checkpoint)
+        status = "cache-hit" if tables.build_stats.get("cache_hit") else "ok"
+        if tables.build_stats.get("degraded"):
+            status = "degraded"
+            msg = ("table build fell back to the serial path after pool "
+                   f"failure ({tables.degraded_reason})")
+            report.degrade(msg)
+            if journal is not None:
+                journal.event("table-build-degraded", msg)
+        quarantined = getattr(eff_cache, "quarantined", 0)
+        if quarantined:
+            msg = (f"quarantined {quarantined} corrupt table-cache "
+                   f"entr{'y' if quarantined == 1 else 'ies'} and rebuilt")
+            report.degrade(msg)
+            if journal is not None:
+                journal.event("cache-quarantine", msg)
+        report.add_phase("tables", time.perf_counter() - phase[1], status)
+        if journal is not None:
+            journal.phase_done("tables",
+                               digest=fingerprint["tables_digest"],
+                               degraded=bool(tables.build_stats.get(
+                                   "degraded")))
+
+        # -- phase 2: the search itself -----------------------------------
+        _enter("search")
+        resilience = None
+        if method == "ours":
+            if resilient:
+                from ..resilience import resilient_find_best_strategy
+
+                result, resilience = resilient_find_best_strategy(
+                    graph, space, tables, order=order,
+                    memory_budget=budget.memory_budget,
+                    search_fn=_reducing_search(reduce),
+                    checkpoint=checkpoint)
+                if resilience.retries:
+                    msg = ("resilient ladder degraded "
+                           f"{resilience.retries}x: "
+                           + ", ".join(resilience.degradations))
+                    report.degrade(msg)
+                    if journal is not None:
+                        journal.event("search-degraded", msg)
+            else:
+                result = find_best_strategy(
+                    graph, space, tables, order=order,
+                    memory_budget=budget.memory_budget, reduce=reduce,
+                    checkpoint=checkpoint)
+        else:
+            result = _run_baseline(graph, space, tables, machine,
+                                   method, seed, reduce)
+        if "table_build_seconds" not in result.stats:
+            result = result.with_stats(
+                **{f"table_{k}": float(v)
+                   for k, v in tables.build_stats.items()})
+        report.add_phase("search", time.perf_counter() - phase[1], "ok")
+        report.best_cost = result.cost
+        if journal is not None:
+            journal.record_result(result)
+        return RunOutcome(result=result, report=report, tables=tables,
+                          resilience=resilience)
+
+    except RunInterrupted as err:
+        _finalize_failure(report, journal, "interrupted", err,
+                          phase[0], time.perf_counter() - phase[1])
+        raise
+    except DeadlineExceededError as err:
+        _finalize_failure(report, journal, "deadline", err,
+                          phase[0], time.perf_counter() - phase[1])
+        raise
+    except SearchResourceError as err:
+        _finalize_failure(report, journal, "resource-error", err,
+                          phase[0], time.perf_counter() - phase[1])
+        raise
+
+
+def _reducing_search(reduce: bool):
+    """`find_best_strategy` with ``reduce`` pre-bound, for the ladder."""
+    if not reduce:
+        return find_best_strategy
+    from functools import partial
+
+    return partial(find_best_strategy, reduce=True)
+
+
+def _run_baseline(graph: CompGraph, space: ConfigSpace, tables: CostTables,
+                  machine: MachineSpec, method: str, seed: int,
+                  reduce: bool) -> SearchResult:
+    """Dispatch non-DP methods through the shared experiment machinery
+    (baselines run between checkpoints; MCMC carries its own budget)."""
+    from ..experiments.common import BenchSetup, search_with
+
+    setup = BenchSetup(name="runtime", graph=graph, p=space.p,
+                       machine=machine, space=space, tables=tables)
+    return search_with(setup, method, seed=seed, reduce=reduce)
+
+
+def _finalize_failure(report: RunReport, journal: SearchJournal | None,
+                      outcome: str, err: BaseException,
+                      phase_name: str, phase_seconds: float) -> None:
+    """Flush the journal, stamp the report, attach it to the error."""
+    report.outcome = outcome
+    report.detail = str(err)
+    report.add_phase(phase_name, phase_seconds, outcome)
+    if journal is not None:
+        prior = journal.load_result()
+        if prior is not None:
+            report.best_cost = prior.cost
+        journal.flush()
+    err.run_report = report  # type: ignore[attr-defined]

@@ -1,0 +1,56 @@
+"""SIGINT/SIGTERM trapping for hardened runs.
+
+The handler installed by :func:`trap_signals` never does work itself — it
+flags the run's `Cancellation` token and returns, so the pipeline unwinds
+via `RunInterrupted` at its next cooperative checkpoint with the journal
+consistent.  A *second* signal of either kind means the user wants out
+now: the original Python handler is restored and re-invoked, producing
+the ordinary `KeyboardInterrupt` / termination behavior.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import signal
+import threading
+from typing import Iterator
+
+from .budget import Cancellation
+
+__all__ = ["trap_signals"]
+
+
+@contextlib.contextmanager
+def trap_signals(cancellation: Cancellation,
+                 signums: tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+                 ) -> Iterator[Cancellation]:
+    """Route the first SIGINT/SIGTERM into ``cancellation``.
+
+    Signals can only be trapped from the main thread; elsewhere (e.g. a
+    worker thread running a search) this degrades to a no-op so library
+    callers never crash on installation.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield cancellation
+        return
+
+    previous = {}
+
+    def _handler(signum, frame):
+        name = signal.Signals(signum).name
+        if cancellation.requested:
+            # Second request: restore default behavior and re-raise.
+            for num, old in previous.items():
+                signal.signal(num, old)
+            signal.raise_signal(signum)
+            return
+        cancellation.set(name)
+
+    for num in signums:
+        previous[num] = signal.signal(num, _handler)
+    try:
+        yield cancellation
+    finally:
+        for num, old in previous.items():
+            with contextlib.suppress(ValueError, OSError):
+                signal.signal(num, old)

@@ -266,3 +266,64 @@ class TestManifest:
         assert set(manifest["nodes"]) == set(g.node_names)
         assert len(manifest["pairs"]) == len(
             {(e.src, e.dst) for e in g.edges})
+
+    def test_manifest_carries_payload_checksum(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        path = cache.store(table_digest(g, space, cm),
+                           cm.build_tables(g, space))
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+        assert len(manifest["payload_checksum"]) == 64
+
+
+class TestQuarantine:
+    def _stored(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        cache.store(digest, cm.build_tables(g, space))
+        return g, space, cm, cache, digest
+
+    def test_truncated_entry_quarantined_not_crashed(self, tmp_path):
+        g, space, cm, cache, digest = self._stored(tmp_path)
+        path = cache.path_for(digest)
+        blob = path.read_bytes()
+        path.write_bytes(blob[:len(blob) // 2])  # torn write / bad disk
+        assert cache.load(digest, g, space, cm.machine) is None
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert (cache.corrupt_dir / path.name).is_file()
+
+    def test_bitflip_fails_checksum_and_quarantines(self, tmp_path):
+        """A valid npz whose array bytes were altered (stale manifest
+        checksum) must be caught by the integrity check, not returned."""
+        g, space, cm, cache, digest = self._stored(tmp_path)
+        path = cache.path_for(digest)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["lc_0"] = arrays["lc_0"] + 1.0
+        np.savez(path, **arrays)
+        assert cache.load(digest, g, space, cm.machine) is None
+        assert cache.quarantined == 1
+        assert (cache.corrupt_dir / path.name).is_file()
+
+    def test_quarantined_entries_invisible_to_listing(self, tmp_path):
+        g, space, cm, cache, digest = self._stored(tmp_path)
+        cache.path_for(digest).write_bytes(b"garbage")
+        cache.load(digest, g, space, cm.machine)
+        assert list(cache.entries()) == []
+        assert cache.total_bytes() == 0
+
+    def test_build_tables_rebuilds_after_quarantine(self, tmp_path):
+        g, space, cm, cache, digest = self._stored(tmp_path)
+        cache.path_for(digest).write_bytes(b"garbage")
+        reference = cm.build_tables(g, space)
+        rebuilt = cm.build_tables(g, space, cache=cache)
+        assert rebuilt.build_stats["cache_hit"] == 0.0
+        assert cache.quarantined == 1
+        assert tables_equal(rebuilt, reference)
+        # The rebuild re-populated the cache; next build is a clean hit.
+        again = cm.build_tables(g, space, cache=cache)
+        assert again.build_stats["cache_hit"] == 1.0
+        assert tables_equal(again, reference)

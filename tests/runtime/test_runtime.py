@@ -1,0 +1,230 @@
+"""End-to-end tests for the hardened runtime (`execute_search`)."""
+
+import tempfile
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.configs import ConfigSpace
+from repro.core.exceptions import (
+    DeadlineExceededError,
+    JournalError,
+    RunInterrupted,
+    SearchResourceError,
+)
+from repro.core.machine import GTX1080TI
+from repro.runtime import (
+    Cancellation,
+    EXIT_DEADLINE,
+    EXIT_INTERRUPTED,
+    EXIT_OK,
+    EXIT_RESOURCE,
+    RunBudget,
+    SearchJournal,
+    execute_search,
+    run_fingerprint,
+)
+from tests.conftest import build_dag, small_dags
+
+
+def make_problem(p: int = 4):
+    graph = build_dag(4, [(0, 2), (1, 3)], param_mask=0b1010,
+                      reduction_mask=0b0100)
+    return graph, ConfigSpace.build(graph, p)
+
+
+class TripAfter(Cancellation):
+    """Cancellation that self-arms after ``n`` checkpoint polls — a
+    deterministic stand-in for a SIGINT landing mid-run."""
+
+    def __init__(self, n: int) -> None:
+        super().__init__()
+        self.n = n
+        self.calls = 0
+
+    def check(self, where: str = "") -> None:
+        self.calls += 1
+        if self.calls > self.n:
+            self.set("SIGINT")
+        super().check(where)
+
+
+class TestCleanRun:
+    def test_reports_zero_degradations(self):
+        graph, space = make_problem()
+        out = execute_search(graph, space, GTX1080TI)
+        assert out.report.outcome == "ok"
+        assert out.report.clean
+        assert out.report.exit_code == EXIT_OK
+        assert [ph.name for ph in out.report.phases] == ["tables", "search"]
+        assert out.report.best_cost == out.result.cost
+        assert "zero degradations" in out.report.summary()
+
+    def test_matches_unhardened_search(self):
+        from repro.core.costmodel import CostModel
+        from repro.core.dp import find_best_strategy
+
+        graph, space = make_problem()
+        tables = CostModel(GTX1080TI).build_tables(graph, space)
+        plain = find_best_strategy(graph, space, tables)
+        hardened = execute_search(graph, space, GTX1080TI).result
+        assert hardened.cost == plain.cost
+        assert hardened.strategy.assignment == plain.strategy.assignment
+
+    def test_baseline_method_dispatch(self):
+        graph, space = make_problem()
+        out = execute_search(graph, space, GTX1080TI, method="data_parallel")
+        assert out.result.method == "data_parallel"
+        assert out.result.stats["table_build_seconds"] >= 0.0
+
+    def test_reduce_flag_threads_through(self):
+        graph, space = make_problem()
+        plain = execute_search(graph, space, GTX1080TI).result
+        reduced = execute_search(graph, space, GTX1080TI, reduce=True).result
+        assert reduced.cost == pytest.approx(plain.cost)
+        assert "reduction_seconds" in reduced.stats
+
+    def test_requires_machine_or_model(self):
+        graph, space = make_problem()
+        with pytest.raises(ValueError, match="machine"):
+            execute_search(graph, space)
+
+
+class TestFailureModes:
+    def test_zero_deadline_raises_with_report(self):
+        graph, space = make_problem()
+        with pytest.raises(DeadlineExceededError) as exc:
+            execute_search(graph, space, GTX1080TI,
+                           budget=RunBudget(deadline=0.0))
+        report = exc.value.run_report
+        assert report.outcome == "deadline"
+        assert report.exit_code == EXIT_DEADLINE
+        assert "DEADLINE" in report.summary()
+
+    def test_tiny_memory_budget_raises_with_report(self):
+        graph, space = make_problem()
+        with pytest.raises(SearchResourceError) as exc:
+            execute_search(graph, space, GTX1080TI,
+                           budget=RunBudget(memory_budget=64))
+        assert exc.value.run_report.outcome == "resource-error"
+        assert exc.value.run_report.exit_code == EXIT_RESOURCE
+
+    def test_resilient_survives_tiny_memory_budget(self):
+        graph, space = make_problem()
+        out = execute_search(graph, space, GTX1080TI, resilient=True,
+                             budget=RunBudget(memory_budget=4096))
+        assert out.resilience is not None
+        if out.resilience.retries:
+            assert out.report.degradations
+            assert not out.report.clean
+
+    def test_cancellation_raises_with_report(self):
+        graph, space = make_problem()
+        with pytest.raises(RunInterrupted) as exc:
+            execute_search(graph, space, GTX1080TI,
+                           cancellation=TripAfter(0))
+        assert exc.value.run_report.outcome == "interrupted"
+        assert exc.value.run_report.exit_code == EXIT_INTERRUPTED
+
+    def test_resume_without_journal_rejected(self):
+        graph, space = make_problem()
+        with pytest.raises(JournalError, match="journal"):
+            execute_search(graph, space, GTX1080TI, resume=True)
+
+
+class TestJournalledRuns:
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        graph, space = make_problem()
+        fresh = execute_search(graph, space, GTX1080TI).result
+
+        journal = SearchJournal(tmp_path / "journal")
+        with pytest.raises(RunInterrupted):
+            execute_search(graph, space, GTX1080TI, journal=journal,
+                           cancellation=TripAfter(5))
+
+        resumed = execute_search(graph, space, GTX1080TI,
+                                 journal=SearchJournal(tmp_path / "journal"),
+                                 resume=True)
+        assert resumed.result.cost == fresh.cost
+        assert resumed.result.strategy.assignment == \
+            fresh.strategy.assignment
+        assert resumed.report.resumed
+        assert resumed.report.clean
+
+    def test_resume_after_tables_skips_rebuild(self, tmp_path):
+        graph, space = make_problem()
+        journal = SearchJournal(tmp_path / "journal")
+        # Trip late enough that the tables phase completed and journalled.
+        n_tasks = len(graph) + len(graph.edges)
+        with pytest.raises(RunInterrupted):
+            execute_search(graph, space, GTX1080TI, journal=journal,
+                           cancellation=TripAfter(n_tasks + 1))
+        resumed = execute_search(graph, space, GTX1080TI,
+                                 journal=SearchJournal(tmp_path / "journal"),
+                                 resume=True)
+        assert resumed.result.stats["table_cache_hit"] == 1.0
+
+    def test_finished_journal_replays_without_recompute(self, tmp_path):
+        graph, space = make_problem()
+        journal = SearchJournal(tmp_path / "journal")
+        first = execute_search(graph, space, GTX1080TI, journal=journal)
+        replay = execute_search(graph, space, GTX1080TI,
+                                journal=SearchJournal(tmp_path / "journal"),
+                                resume=True)
+        assert replay.result.cost == first.result.cost
+        assert replay.result.strategy.assignment == \
+            first.result.strategy.assignment
+        assert all(ph.status == "journal" for ph in replay.report.phases)
+
+    def test_resume_different_problem_rejected(self, tmp_path):
+        graph, space = make_problem()
+        journal = SearchJournal(tmp_path / "journal")
+        execute_search(graph, space, GTX1080TI, journal=journal)
+        _, other_space = make_problem(p=8)
+        with pytest.raises(JournalError, match="different problem"):
+            execute_search(graph, other_space, GTX1080TI,
+                           journal=SearchJournal(tmp_path / "journal"),
+                           resume=True)
+
+    def test_fingerprint_excludes_perf_knobs(self):
+        from repro.core.costmodel import CostModel
+
+        graph, space = make_problem()
+        model = CostModel(GTX1080TI)
+        base = dict(method="ours", seed=0, reduce=False, resilient=False,
+                    memory_budget=1 << 30, order=None)
+        assert run_fingerprint(graph, space, model, **base) == \
+            run_fingerprint(graph, space, model, **base)
+        changed = dict(base, seed=1)
+        assert run_fingerprint(graph, space, model, **base) != \
+            run_fingerprint(graph, space, model, **changed)
+
+
+class TestResumeProperty:
+    @settings(max_examples=12, deadline=None)
+    @given(small_dags(max_nodes=5), st.sampled_from([2, 4]),
+           st.integers(min_value=1, max_value=14))
+    def test_interrupt_resume_equals_fresh(self, graph, p, trip_at):
+        """Interrupt at a random checkpoint, resume, compare to a fresh
+        run: bit-identical cost and strategy, regardless of where the
+        interrupt landed."""
+        space = ConfigSpace.build(graph, p)
+        fresh = execute_search(graph, space, GTX1080TI).result
+        with tempfile.TemporaryDirectory() as tmp:
+            try:
+                out = execute_search(graph, space, GTX1080TI,
+                                     journal=SearchJournal(tmp),
+                                     cancellation=TripAfter(trip_at))
+                # Run finished before the trip point: nothing to resume,
+                # but the journalled result must already match.
+                assert out.result.cost == fresh.cost
+                return
+            except RunInterrupted:
+                pass
+            resumed = execute_search(graph, space, GTX1080TI,
+                                     journal=SearchJournal(tmp),
+                                     resume=True)
+            assert resumed.result.cost == fresh.cost
+            assert resumed.result.strategy.assignment == \
+                fresh.strategy.assignment

@@ -101,11 +101,12 @@ class TestCLIResilience:
         out = capsys.readouterr().out
         assert "completed after" in out and "retries" in out
 
-    def test_search_budget_without_resilient_raises(self):
-        from repro.core.exceptions import SearchResourceError
-        with pytest.raises(SearchResourceError, match="budget_bytes=64"):
-            main(["search", "--model", "rnnlm", "--p", "4",
-                  "--memory-budget", "64"])
+    def test_search_budget_without_resilient_exits_3(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--memory-budget", "64"]) == 3
+        err = capsys.readouterr().err
+        assert "budget_bytes=64" in err
+        assert "exit code 3" in err
 
     def test_simulate_with_faults(self, tmp_path, capsys):
         assert main(["simulate", "--model", "rnnlm", "--p", "4",
@@ -123,13 +124,12 @@ class TestCLIResilience:
         assert "effective step time" in out
         assert "elastic re-plan" in out and "break-even" in out
 
-    def test_simulate_bad_plan_rejected(self, tmp_path):
-        from repro.core.exceptions import FaultPlanError
+    def test_simulate_bad_plan_exits_4(self, tmp_path, capsys):
         bad = tmp_path / "bad.json"
         bad.write_text("{not json")
-        with pytest.raises(FaultPlanError):
-            main(["simulate", "--model", "rnnlm", "--p", "4",
-                  "--methods", "ours", "--faults", str(bad)])
+        assert main(["simulate", "--model", "rnnlm", "--p", "4",
+                     "--methods", "ours", "--faults", str(bad)]) == 4
+        assert "not valid JSON" in capsys.readouterr().err
 
 
 class TestCLIExperimentCommands:
@@ -142,3 +142,58 @@ class TestCLIExperimentCommands:
         assert main(["figure6", "--benchmarks", "rnnlm"]) == 0
         out = capsys.readouterr().out
         assert "Figure 6a" in out and "Figure 6b" in out
+
+
+class TestCLIHardenedRuntime:
+    """Documented exit codes and journal/resume behavior of `search`."""
+
+    ARGS = ["search", "--model", "rnnlm", "--p", "4"]
+
+    def test_clean_run_reports_zero_degradations(self, capsys):
+        assert main(self.ARGS) == 0
+        assert "zero degradations" in capsys.readouterr().out
+
+    def test_deadline_zero_exits_5(self, capsys):
+        assert main(self.ARGS + ["--deadline", "0"]) == 5
+        err = capsys.readouterr().err
+        assert "deadline exceeded" in err
+        assert "exit code 5" in err
+
+    def test_generous_deadline_exits_0(self, capsys):
+        assert main(self.ARGS + ["--deadline", "3600"]) == 0
+
+    def test_resume_without_journal_exits_2(self, capsys):
+        assert main(self.ARGS + ["--resume"]) == 2
+        assert "--journal-dir" in capsys.readouterr().err
+
+    def test_resume_with_empty_journal_dir_exits_2(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--journal-dir", str(tmp_path / "j"),
+                                 "--resume"]) == 2
+        assert "no journal" in capsys.readouterr().err
+
+    def test_journalled_run_then_resume_is_identical(self, tmp_path, capsys):
+        import re
+
+        jdir = str(tmp_path / "journal")
+        assert main(self.ARGS + ["--journal-dir", jdir]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--journal-dir", jdir, "--resume"]) == 0
+        second = capsys.readouterr().out
+        cost = re.compile(r"# cost=(\S+)")
+        assert cost.search(first).group(1) == cost.search(second).group(1)
+        assert "resumed from journal" in second
+
+    def test_resume_fingerprint_mismatch_exits_2(self, tmp_path, capsys):
+        jdir = str(tmp_path / "journal")
+        assert main(self.ARGS + ["--journal-dir", jdir]) == 0
+        capsys.readouterr()
+        assert main(["search", "--model", "rnnlm", "--p", "8",
+                     "--journal-dir", jdir, "--resume"]) == 2
+        assert "different problem" in capsys.readouterr().err
+
+    def test_exit_codes_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["--help"])
+        out = capsys.readouterr().out
+        for code in range(7):
+            assert f"  {code}  " in out
