@@ -2,44 +2,49 @@
 """Quickstart: find a parallelization strategy for an MLP on 8 GPUs.
 
 Builds a small computation graph, searches for the best hybrid strategy
-with PaSE's dynamic program, compares it against data parallelism, and
-simulates both on an 8-GPU node.
+with PaSE's dynamic program via the `repro.api` facade, compares it
+against data parallelism, and simulates both on an 8-GPU node — with a
+trace of where the search spent its time.
 
 Run:  python examples/quickstart.py
 """
 
+from repro.api import Problem, RunContext, search, simulate
 from repro.baselines import data_parallel_strategy
-from repro.cluster import simulate_step
-from repro.core import ConfigSpace, CostModel, GTX1080TI, find_best_strategy
 from repro.models import mlp
+from repro.obs import Tracer
 
 P = 8
 
 
 def main() -> None:
-    # 1. A computation graph (one node per layer, edges carry tensors).
+    # 1. A computation graph (one node per layer, edges carry tensors),
+    #    bound to a device count and machine model.
     graph = mlp(batch=64, in_dim=784, hidden=(4096, 4096), classes=1000)
+    prob = Problem.from_graph(graph, P)
     print(f"graph: {len(graph)} layers, "
           f"{graph.stats()['total_params'] / 1e6:.1f}M parameters\n")
 
-    # 2. Enumerate valid configurations and precompute the cost oracle.
-    space = ConfigSpace.build(graph, P)
-    tables = CostModel(GTX1080TI).build_tables(graph, space)
-
-    # 3. Search (FINDBESTSTRATEGY: GENERATESEQ ordering + tensorized DP).
-    result = find_best_strategy(graph, space, tables)
+    # 2. Search (FINDBESTSTRATEGY: GENERATESEQ ordering + tensorized DP),
+    #    tracing each pipeline phase.
+    ctx = RunContext(tracer=Tracer())
+    outcome = search(prob, ctx=ctx)
+    result = outcome.result
     print(f"search took {result.elapsed * 1e3:.1f} ms, "
           f"analytic cost {result.cost:.3e} FLOP-equivalents")
     print(result.strategy.format_table(graph))
+    print()
+    print(ctx.tracer.summary())
 
-    # 4. Compare with plain data parallelism under the same oracle...
+    # 3. Compare with plain data parallelism under the same oracle...
     dp = data_parallel_strategy(graph, P)
+    tables = outcome.tables
     print(f"\nanalytic cost ratio dp/ours: "
           f"{dp.cost(tables) / result.cost:.2f}x")
 
-    # 5. ...and on the discrete-event cluster simulator.
-    rep_ours = simulate_step(graph, result.strategy, GTX1080TI, P)
-    rep_dp = simulate_step(graph, dp, GTX1080TI, P)
+    # 4. ...and on the discrete-event cluster simulator.
+    rep_ours = simulate(prob, result)
+    rep_dp = simulate(prob, dp)
     print(f"simulated: ours {rep_ours.throughput:,.0f} samples/s vs "
           f"data parallel {rep_dp.throughput:,.0f} samples/s "
           f"({rep_ours.throughput / rep_dp.throughput:.2f}x)")

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Validate the observability artifacts of a ``pase search`` run.
+
+Usage::
+
+    PYTHONPATH=src python scripts/check_obs_schema.py TRACE.jsonl METRICS
+
+Checks the trace file against the JSONL span schema (meta header,
+well-formed span records, a single ``run`` root whose tree covers the
+pipeline phases) and the metrics export against its format — Prometheus
+text exposition for ``.prom``/``.txt``, the JSON layout otherwise.  CI
+runs this after the smoke search so a schema regression fails the build
+rather than silently breaking downstream dashboards.
+
+Exit code 0 when both artifacts validate, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import sys
+
+from repro.obs import TRACE_VERSION, read_trace, span_tree
+
+_PROM_SAMPLE = re.compile(
+    r"^pase_[a-z0-9_]+(\{le=\"[^\"]+\"\})? -?[0-9][0-9eE.+-]*$")
+_PROM_COMMENT = re.compile(
+    r"^# (HELP|TYPE) pase_[a-z0-9_]+( .*)?$")
+
+#: Span names the CLI smoke run must have produced.
+REQUIRED_SPANS = {"run", "tables", "search"}
+
+
+def check_trace(path: str) -> list[str]:
+    errors: list[str] = []
+    try:
+        records = read_trace(path)
+    except (OSError, ValueError) as err:
+        return [f"trace: unreadable: {err}"]
+    if not records or records[0].get("kind") != "meta":
+        errors.append("trace: first record is not the meta header")
+    elif records[0].get("version") != TRACE_VERSION:
+        errors.append(f"trace: version {records[0].get('version')!r} != "
+                      f"expected {TRACE_VERSION}")
+    spans = [r for r in records if r.get("kind") == "span"]
+    if not spans:
+        errors.append("trace: no span records")
+        return errors
+    for i, rec in enumerate(spans):
+        for field in ("id", "name", "start", "end", "seconds"):
+            if field not in rec:
+                errors.append(f"trace: span #{i} missing {field!r}")
+        if rec.get("end", 0) < rec.get("start", 0) or rec.get("seconds", 0) < 0:
+            errors.append(f"trace: span {rec.get('name')!r} runs backwards")
+    names = {r["name"] for r in spans if "name" in r}
+    missing = REQUIRED_SPANS - names
+    if missing:
+        errors.append(f"trace: missing required spans {sorted(missing)}")
+    roots = span_tree(spans)
+    if [r["name"] for r in roots] != ["run"]:
+        errors.append(f"trace: expected a single 'run' root, got "
+                      f"{[r['name'] for r in roots]}")
+    return errors
+
+
+def check_metrics(path: str) -> list[str]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as err:
+        return [f"metrics: unreadable: {err}"]
+    if path.endswith((".prom", ".txt")):
+        return _check_prometheus(text)
+    return _check_metrics_json(text)
+
+
+def _check_prometheus(text: str) -> list[str]:
+    errors: list[str] = []
+    typed: set[str] = set()
+    sampled: set[str] = set()
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line:
+            continue
+        if line.startswith("#"):
+            m = _PROM_COMMENT.match(line)
+            if m is None:
+                errors.append(f"metrics:{lineno}: malformed comment {line!r}")
+            elif m.group(1) == "TYPE":
+                typed.add(line.split()[2])
+            continue
+        if not _PROM_SAMPLE.match(line):
+            errors.append(f"metrics:{lineno}: malformed sample {line!r}")
+            continue
+        name = line.split("{")[0].split()[0]
+        sampled.add(re.sub(r"_(bucket|sum|count)$", "", name))
+    if not sampled:
+        errors.append("metrics: no samples")
+    untyped = {n for n in sampled if n not in typed}
+    if untyped:
+        errors.append(f"metrics: samples without TYPE: {sorted(untyped)}")
+    return errors
+
+
+def _check_metrics_json(text: str) -> list[str]:
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        return [f"metrics: invalid JSON: {err}"]
+    if not isinstance(doc, dict) or not doc:
+        return ["metrics: expected a non-empty JSON object"]
+    errors: list[str] = []
+    for name, entry in doc.items():
+        if not isinstance(entry, dict) or \
+                {"kind", "help", "value"} - set(entry):
+            errors.append(f"metrics: entry {name!r} missing kind/help/value")
+        elif entry["kind"] not in ("counter", "gauge", "histogram"):
+            errors.append(f"metrics: entry {name!r} has unknown kind "
+                          f"{entry['kind']!r}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 1
+    trace_path, metrics_path = argv
+    errors = check_trace(trace_path) + check_metrics(metrics_path)
+    for err in errors:
+        print(f"check_obs_schema: {err}", file=sys.stderr)
+    if not errors:
+        print(f"check_obs_schema: OK ({trace_path}, {metrics_path})")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

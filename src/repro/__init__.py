@@ -8,7 +8,8 @@ and expert strategy generators, a FlexFlow-style MCMC comparator, a greedy
 device placer, and a discrete-event multi-node GPU cluster simulator.
 """
 
-from . import core, ops, resilience
+from . import api, core, obs, ops, resilience
+from .api import Problem, search, simulate
 from .core import (
     CompGraph,
     ConfigSpace,
@@ -30,6 +31,7 @@ from .core import (
     generate_seq,
     naive_bf_strategy,
 )
+from .runtime import RunContext
 
 __version__ = "1.0.0"
 
@@ -43,18 +45,24 @@ __all__ = [
     "GTX1080TI",
     "MachineSpec",
     "PaseError",
+    "Problem",
     "RTX2080TI",
+    "RunContext",
     "SearchResourceError",
     "SearchResult",
     "Strategy",
     "TensorSpec",
     "UNIT_BALANCE",
     "__version__",
+    "api",
     "brute_force_strategy",
     "core",
     "find_best_strategy",
     "generate_seq",
     "naive_bf_strategy",
+    "obs",
     "ops",
     "resilience",
+    "search",
+    "simulate",
 ]

@@ -1,0 +1,59 @@
+"""Deprecation plumbing for the pre-`RunContext` keyword spellings.
+
+PR 5 consolidated the loose ``jobs`` / ``cache`` / ``budget`` /
+``cancellation`` / ``journal`` / ``checkpoint`` keywords into one
+`repro.runtime.RunContext`.  The old spellings keep working — they are
+mapped onto a context internally and produce bit-identical results —
+but emit a `DeprecationWarning` pointing at the replacement.
+
+This module is import-cycle neutral (stdlib only) so both ``core`` and
+``runtime`` can use it.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Any, Iterable
+
+__all__ = ["UNSET", "warn_deprecated_kwargs", "reject_ctx_conflict"]
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from an explicit ``None``."""
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "<UNSET>"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNSET: Any = _Unset()
+
+
+def warn_deprecated_kwargs(func: str, names: Iterable[str],
+                           *, stacklevel: int = 3) -> None:
+    """Emit the one shared deprecation message for legacy keywords.
+
+    ``stacklevel=3`` points at the caller of the deprecated public
+    function (this helper -> public function -> caller).
+    """
+    joined = ", ".join(sorted(names))
+    warnings.warn(
+        f"{func}: the {joined} keyword(s) are deprecated; bundle them "
+        "into a repro.runtime.RunContext and pass ctx= instead",
+        DeprecationWarning, stacklevel=stacklevel)
+
+
+def reject_ctx_conflict(func: str, names: Iterable[str]) -> None:
+    """Raise when both ``ctx=`` and legacy keywords were passed.
+
+    Silently preferring one over the other would make the migration
+    ambiguous; mixing the two spellings is a hard error.
+    """
+    joined = ", ".join(sorted(names))
+    raise TypeError(
+        f"{func}: pass either ctx= or the legacy {joined} keyword(s), "
+        "not both")

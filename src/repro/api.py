@@ -1,0 +1,157 @@
+"""Stable high-level API for the PaSE reproduction.
+
+Three concepts cover the common workflows:
+
+`Problem`
+    A bound problem instance — computation graph, configuration space,
+    machine, and device count.  Build one from the benchmark zoo with
+    :meth:`Problem.from_benchmark`, or wrap your own `CompGraph`.
+
+`search`
+    Run the full hardened search pipeline (table build → optional
+    reduction → DP or baseline, optionally resilient) and return a
+    `RunOutcome`.  All execution knobs — budgets, cancellation,
+    journaling, observability — travel in a single optional
+    `RunContext`.
+
+`simulate`
+    Price a strategy on the discrete-event cluster simulator and return
+    a `SimulationReport`.
+
+Quickstart::
+
+    from repro.api import Problem, RunContext, search, simulate
+
+    prob = Problem.from_benchmark("alexnet", p=8)
+    outcome = search(prob)                       # tensorized DP
+    print(outcome.result.cost)
+    report = simulate(prob, outcome.result)      # step time / throughput
+    print(report.throughput)
+
+    # With observability:
+    from repro.obs import Metrics, Tracer
+    ctx = RunContext(tracer=Tracer("run.trace.jsonl"), metrics=Metrics())
+    outcome = search(prob, ctx=ctx)
+    ctx.metrics.dump("run.metrics.json")
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .core.configs import ConfigSpace
+from .core.costmodel import CostModel
+from .core.graph import CompGraph
+from .core.machine import GTX1080TI, MachineSpec
+from .core.strategy import SearchResult, Strategy
+from .runtime.context import RunContext
+from .runtime.run import RunOutcome, execute_search
+
+__all__ = ["Problem", "RunContext", "RunOutcome", "search", "simulate"]
+
+
+@dataclass(frozen=True)
+class Problem:
+    """One bound strategy-search problem instance.
+
+    Attributes
+    ----------
+    graph:
+        The computation graph to parallelize.
+    space:
+        Per-node configuration space (determines ``p`` and the
+        enumeration mode).
+    machine:
+        Hardware model used for costs and simulation.
+    """
+
+    graph: CompGraph
+    space: ConfigSpace
+    machine: MachineSpec = GTX1080TI
+
+    @classmethod
+    def from_benchmark(cls, name: str, p: int, *,
+                       machine: MachineSpec = GTX1080TI,
+                       mode: str = "pow2") -> "Problem":
+        """Instantiate a zoo benchmark (``repro.models.BENCHMARKS``).
+
+        ``mode`` picks the configuration enumeration ("pow2",
+        "divisors", or "all"; paper Section II uses powers of two).
+        """
+        from .models import BENCHMARKS
+
+        try:
+            factory = BENCHMARKS[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown benchmark {name!r}; expected one of "
+                f"{sorted(BENCHMARKS)}") from None
+        graph = factory()
+        return cls(graph=graph,
+                   space=ConfigSpace.build(graph, p, mode=mode),
+                   machine=machine)
+
+    @classmethod
+    def from_graph(cls, graph: CompGraph, p: int, *,
+                   machine: MachineSpec = GTX1080TI,
+                   mode: str = "pow2") -> "Problem":
+        """Bind a hand-built `CompGraph` to ``p`` devices."""
+        return cls(graph=graph,
+                   space=ConfigSpace.build(graph, p, mode=mode),
+                   machine=machine)
+
+    @property
+    def p(self) -> int:
+        """Device count the configuration space was built for."""
+        return self.space.p
+
+    def cost_model(self) -> CostModel:
+        return CostModel(self.machine)
+
+
+def search(problem: Problem, *,
+           method: str = "ours",
+           seed: int = 0,
+           order: Sequence[str] | None = None,
+           reduce: bool = False,
+           resilient: bool = False,
+           resume: bool = False,
+           ctx: RunContext | None = None) -> RunOutcome:
+    """Search ``problem`` for its best parallelization strategy.
+
+    Thin veneer over `repro.runtime.execute_search`: same semantics,
+    same exceptions (`SearchResourceError`, `DeadlineExceededError`,
+    `RunInterrupted`, ...), same journal/resume behavior — the
+    `Problem` supplies the instance and the optional `RunContext`
+    supplies every execution knob (budget, cancellation, journal,
+    tracer, metrics, jobs, cache).
+    """
+    return execute_search(problem.graph, problem.space, problem.machine,
+                          method=method, seed=seed, order=order,
+                          reduce=reduce, resilient=resilient,
+                          resume=resume, ctx=ctx)
+
+
+def simulate(problem: Problem,
+             strategy: "Strategy | SearchResult", *,
+             efficiency: float | None = None,
+             batch: int | None = None,
+             keep_trace: bool = False,
+             faults=None):
+    """Simulate one training step of ``strategy`` on ``problem``.
+
+    Accepts either a bare `Strategy` or a `SearchResult` (its
+    ``.strategy`` is used), so ``simulate(prob, search(prob).result)``
+    composes directly.  Returns the simulator's `SimulationReport`.
+    """
+    from .cluster import simulate_step
+
+    if isinstance(strategy, SearchResult):
+        strategy = strategy.strategy
+    kwargs: dict = {"batch": batch, "keep_trace": keep_trace,
+                    "faults": faults}
+    if efficiency is not None:
+        kwargs["efficiency"] = efficiency
+    return simulate_step(problem.graph, strategy, problem.machine,
+                         problem.p, **kwargs)

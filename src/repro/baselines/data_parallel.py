@@ -5,11 +5,13 @@ from __future__ import annotations
 from ..core.exceptions import StrategyError
 from ..core.graph import CompGraph
 from ..core.strategy import Strategy
+from ..obs.profile import profiled
 from ._util import pow2_floor
 
 __all__ = ["data_parallel_strategy"]
 
 
+@profiled("baseline.data_parallel")
 def data_parallel_strategy(graph: CompGraph, p: int, *,
                            batch_dim: str = "b") -> Strategy:
     """The standard baseline: each device gets a full model replica and a

@@ -18,6 +18,7 @@ from __future__ import annotations
 from ..core.exceptions import StrategyError
 from ..core.graph import CompGraph
 from ..core.strategy import Strategy
+from ..obs.profile import profiled
 from ._util import pow2_floor, split_dim
 
 __all__ = [
@@ -119,6 +120,7 @@ def mesh_tf_transformer_expert(graph: CompGraph, p: int,
     return Strategy(assignment)
 
 
+@profiled("baseline.expert")
 def auto_expert_strategy(graph: CompGraph, p: int) -> Strategy:
     """Pick the expert strategy the paper uses for this kind of network.
 

@@ -27,6 +27,7 @@ from ..core.configs import ConfigSpace
 from ..core.costmodel import CostTables
 from ..core.graph import CompGraph
 from ..core.strategy import SearchResult, Strategy
+from ..obs.profile import profiled
 
 __all__ = ["MCMCOptions", "mcmc_search"]
 
@@ -55,6 +56,7 @@ class MCMCOptions:
     time_budget: float | None = None
 
 
+@profiled("baseline.mcmc")
 def mcmc_search(
     graph: CompGraph,
     space: ConfigSpace,

@@ -10,10 +10,12 @@ from ..core.configs import ConfigSpace
 from ..core.costmodel import CostTables
 from ..core.graph import CompGraph
 from ..core.strategy import SearchResult, Strategy
+from ..obs.profile import profiled
 
 __all__ = ["random_search"]
 
 
+@profiled("baseline.random")
 def random_search(
     graph: CompGraph,
     space: ConfigSpace,

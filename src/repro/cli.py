@@ -54,7 +54,7 @@ def _add_table_opts(sub: argparse.ArgumentParser) -> None:
 def _cmd_search(args: argparse.Namespace) -> int:
     from .core.configs import ConfigSpace
     from .core.dp import DEFAULT_MEMORY_BUDGET
-    from .runtime import (Cancellation, RunBudget, SearchJournal,
+    from .runtime import (Cancellation, RunBudget, RunContext, SearchJournal,
                           execute_search, trap_signals)
 
     if args.resume and args.journal_dir is None:
@@ -71,6 +71,18 @@ def _cmd_search(args: argparse.Namespace) -> int:
     journal = None
     if args.journal_dir is not None:
         journal = SearchJournal(args.journal_dir)
+    tracer = None
+    if args.trace is not None or args.verbose:
+        from .obs import Tracer
+
+        # -v without --trace still needs the in-memory records for the
+        # post-run summary; Tracer(None) keeps them without a file.
+        tracer = Tracer(args.trace)
+    metrics = None
+    if args.metrics is not None:
+        from .obs import Metrics
+
+        metrics = Metrics()
     # The DP path runs whenever it can honor a custom memory budget /
     # breadth-first ordering; plain "bf" stays the naive recurrence-(2)
     # baseline, exactly as before the hardened runtime.
@@ -80,17 +92,25 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from .core.sequencer import breadth_first_seq
 
         method, order = "ours", breadth_first_seq(graph)
-    budget = RunBudget(
-        deadline=args.deadline,
-        memory_budget=args.memory_budget if args.memory_budget is not None
-        else DEFAULT_MEMORY_BUDGET)
-    cancellation = Cancellation()
-    with trap_signals(cancellation):
-        outcome = execute_search(
-            graph, space, machine, method=method, seed=args.seed,
-            order=order, reduce=args.reduce, resilient=args.resilient,
-            jobs=args.jobs, cache=cache, budget=budget,
-            cancellation=cancellation, journal=journal, resume=args.resume)
+    ctx = RunContext(
+        budget=RunBudget(
+            deadline=args.deadline,
+            memory_budget=args.memory_budget if args.memory_budget is not None
+            else DEFAULT_MEMORY_BUDGET),
+        cancellation=Cancellation(),
+        journal=journal, jobs=args.jobs, cache=cache,
+        tracer=tracer, metrics=metrics)
+    try:
+        with trap_signals(ctx.cancellation):
+            outcome = execute_search(
+                graph, space, machine, method=method, seed=args.seed,
+                order=order, reduce=args.reduce, resilient=args.resilient,
+                ctx=ctx, resume=args.resume)
+    finally:
+        # The tracer flushes per-span, so the trace file is valid even on
+        # a failure path; the metrics snapshot needs an explicit dump.
+        if metrics is not None:
+            metrics.dump(args.metrics)
     result = outcome.result
     from .analysis.reporting import (format_reduction_stats, format_run_report,
                                      format_table_build_stats)
@@ -111,6 +131,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         print(f"# strategy written to {args.json}")
     else:
         print(result.strategy.format_table(graph))
+    if args.metrics is not None:
+        print(f"# metrics written to {args.metrics}")
+    if args.trace is not None:
+        print(f"# trace written to {args.trace}")
+    if args.verbose and tracer is not None:
+        from .obs import format_trace_summary
+
+        print(format_trace_summary(tracer.records))
     return 0
 
 
@@ -284,6 +312,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     p_search.add_argument("--resume", action="store_true",
                           help="resume a journalled run from --journal-dir "
                           "bit-identically (fingerprint-checked)")
+    p_search.add_argument("--trace", metavar="FILE", default=None,
+                          help="write a nested-span trace of the run as "
+                          "JSONL (crash-safe: flushed per span)")
+    p_search.add_argument("--metrics", metavar="FILE", default=None,
+                          help="export run metrics to FILE; .prom/.txt "
+                          "selects Prometheus text format, anything else "
+                          "JSON")
+    p_search.add_argument("-v", "--verbose", action="store_true",
+                          help="print a per-phase timing summary of the "
+                          "run's trace")
     p_search.set_defaults(fn=_cmd_search)
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")

@@ -23,6 +23,7 @@ from .sequencer import (
     generate_seq,
     random_seq,
 )
+from .stats import STATS_KEYS, STATS_KEY_PREFIXES, validate_stats_keys
 from .strategy import SearchResult, Strategy
 from .tablecache import TableCache, table_digest
 from .tensors import DTYPE_BYTES, TensorSpec
@@ -44,6 +45,8 @@ __all__ = [
     "GraphError",
     "RTX2080TI",
     "ReducedProblem",
+    "STATS_KEYS",
+    "STATS_KEY_PREFIXES",
     "SearchResourceError",
     "SearchResult",
     "SequencedGraph",
@@ -69,4 +72,5 @@ __all__ = [
     "shard_extent",
     "shard_volume",
     "table_digest",
+    "validate_stats_keys",
 ]

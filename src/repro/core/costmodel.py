@@ -35,6 +35,8 @@ from typing import Callable
 
 import numpy as np
 
+from .._compat import UNSET, reject_ctx_conflict, warn_deprecated_kwargs
+from ..obs.profile import metrics_of, tracer_of
 from ..ops.base import OpSpec
 from .configs import ConfigSpace
 from .dims import shard_extent
@@ -261,14 +263,22 @@ class CostModel:
         return min(workers, max(n_tasks, 1))
 
     def build_tables(self, graph: CompGraph, space: ConfigSpace, *,
-                     jobs: int | None = None,
-                     cache: "object | None" = None,
-                     checkpoint: Callable[..., None] | None = None,
+                     ctx: "object | None" = None,
+                     jobs: int | None = UNSET,
+                     cache: "object | None" = UNSET,
+                     checkpoint: Callable[..., None] | None = UNSET,
                      ) -> "CostTables":
         """Precompute `CostTables` for one (graph, machine, p) instance.
 
         Parameters
         ----------
+        ctx:
+            A `repro.runtime.RunContext` supplying ``jobs``, ``cache``,
+            the cooperative checkpoint, and the observability pair.  The
+            loose ``jobs=`` / ``cache=`` / ``checkpoint=`` keywords below
+            are **deprecated** spellings of the same knobs (bit-identical
+            behaviour, `DeprecationWarning`); mixing them with ``ctx=``
+            is an error.
         jobs:
             Worker processes for the per-node / per-edge matrix
             construction.  ``None`` (default) stays serial, ``0`` uses all
@@ -299,8 +309,56 @@ class CostModel:
         worker count, table cells, degradation flags) which the searchers
         surface in ``SearchResult.stats``.
         """
+        legacy = [name for name, val in (("jobs", jobs), ("cache", cache),
+                                         ("checkpoint", checkpoint))
+                  if val is not UNSET]
+        if legacy:
+            if ctx is not None:
+                reject_ctx_conflict("CostModel.build_tables", legacy)
+            warn_deprecated_kwargs("CostModel.build_tables", legacy)
+        jobs = None if jobs is UNSET else jobs
+        cache = None if cache is UNSET else cache
+        checkpoint = None if checkpoint is UNSET else checkpoint
+        if ctx is not None:
+            jobs = ctx.jobs
+            cache = ctx.cache
+            checkpoint = ctx.make_checkpoint()
+        tracer = tracer_of(ctx)
+        metrics = metrics_of(ctx)
+
         t0 = time.perf_counter()
         work_cells = self.table_work_cells(graph, space)
+        with tracer.span("tables.build", cells=work_cells) as span:
+            tables = self._build_tables_inner(
+                graph, space, jobs, cache, checkpoint, work_cells, t0)
+            stats = tables.build_stats
+            span.set(cache_hit=bool(stats["cache_hit"]),
+                     jobs=int(stats["jobs"]),
+                     degraded=bool(stats["degraded"]),
+                     seconds_build=stats["build_seconds"])
+        if stats["cache_hit"]:
+            metrics.counter("table_cache_hits_total",
+                            "table-cache digest hits").inc()
+        else:
+            if cache is not None:
+                metrics.counter("table_cache_misses_total",
+                                "table-cache digest misses").inc()
+            metrics.counter("table_build_cells_total",
+                            "cost-table cells constructed").inc(work_cells)
+            if stats["build_seconds"] > 0:
+                metrics.gauge(
+                    "table_build_cells_per_second",
+                    "cost-table construction throughput").set(
+                        work_cells / stats["build_seconds"])
+            metrics.counter("table_pool_retries_total",
+                            "parallel table-build pool retries").inc(
+                                stats["parallel_retries"])
+        return tables
+
+    def _build_tables_inner(self, graph: CompGraph, space: ConfigSpace,
+                            jobs: int | None, cache: "object | None",
+                            checkpoint: Callable[..., None] | None,
+                            work_cells: int, t0: float) -> "CostTables":
         digest = None
         if cache is not None:
             from .tablecache import table_digest

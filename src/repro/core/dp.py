@@ -24,12 +24,15 @@ would be exceeded.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
 import numpy as np
 
+from .._compat import UNSET, reject_ctx_conflict, warn_deprecated_kwargs
+from ..obs.profile import current_metrics, current_tracer
 from .configs import ConfigSpace
 from .costmodel import CostTables
 from .exceptions import SearchResourceError
@@ -70,7 +73,8 @@ def find_best_strategy(
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     method_name: str = "pase-dp",
     reduce: bool = False,
-    checkpoint: Callable[..., None] | None = None,
+    ctx: "object | None" = None,
+    checkpoint: Callable[..., None] | None = UNSET,
 ) -> SearchResult:
     """Find the minimum-cost strategy under the cost oracle ``tables``.
 
@@ -93,14 +97,19 @@ def find_best_strategy(
         the reduced problem, and expand the optimum back to the original
         space.  The returned cost is re-evaluated on the original tables;
         ``stats`` gains the ``reduction_*`` counters.
+    ctx:
+        A `repro.runtime.RunContext` supplying the cooperative
+        checkpoint (composed from its budget/cancellation/journal) and
+        the observability pair, which is activated for the duration of
+        the search so reduction rounds and per-vertex spans land in the
+        caller's trace.
     checkpoint:
-        Optional cooperative cancellation hook
-        (`repro.runtime.make_checkpoint`), polled once per DP vertex
-        (and per reduction round when ``reduce`` is on) with
-        ``phase``/``step``/``total`` keywords.  It aborts the search by
-        raising — e.g. `DeadlineExceededError` or `RunInterrupted` —
-        always between vertices, never mid-table, so no partial state
-        escapes.
+        **Deprecated** spelling of the same cooperative hook: a callable
+        polled once per DP vertex (and per reduction round when
+        ``reduce`` is on) with ``phase``/``step``/``total`` keywords.
+        It aborts the search by raising — e.g. `DeadlineExceededError`
+        or `RunInterrupted` — always between vertices, never mid-table,
+        so no partial state escapes.  Pass ``ctx=`` instead.
 
     Returns
     -------
@@ -108,6 +117,37 @@ def find_best_strategy(
         With ``stats`` containing ``cells`` (DP cells evaluated),
         ``peak_bytes``, ``max_dependent`` (M), and ``k_max`` (K).
     """
+    if checkpoint is not UNSET:
+        if ctx is not None:
+            reject_ctx_conflict("find_best_strategy", ["checkpoint"])
+        warn_deprecated_kwargs("find_best_strategy", ["checkpoint"])
+    else:
+        checkpoint = None
+    observed = contextlib.nullcontext()
+    if ctx is not None:
+        checkpoint = ctx.make_checkpoint()
+        observed = ctx.observe()
+    with observed:
+        return _find_best_strategy(
+            graph, space, tables, order=order, memory_budget=memory_budget,
+            chunk_cells=chunk_cells, method_name=method_name, reduce=reduce,
+            checkpoint=checkpoint)
+
+
+def _find_best_strategy(
+    graph: CompGraph,
+    space: ConfigSpace,
+    tables: CostTables,
+    *,
+    order: Sequence[str] | None,
+    memory_budget: int,
+    chunk_cells: int,
+    method_name: str,
+    reduce: bool = False,
+    checkpoint: Callable[..., None] | None = None,
+) -> SearchResult:
+    """The implementation behind the public shim: legacy kwargs already
+    resolved, the observability pair taken from the ambient context."""
     t0 = time.perf_counter()
     if reduce:
         from .reduction import reduce_problem
@@ -117,7 +157,7 @@ def find_best_strategy(
         if order is not None:
             live = set(red.survivors)
             sub_order = tuple(n for n in order if n in live)
-        inner = find_best_strategy(
+        inner = _find_best_strategy(
             red.reduced_graph, red.reduced_space, red.reduced_tables,
             order=sub_order, memory_budget=memory_budget,
             chunk_cells=chunk_cells, method_name=method_name,
@@ -143,75 +183,81 @@ def find_best_strategy(
     live_bytes = 0
     peak_bytes = 0
     cells_evaluated = 0
+    tracer = current_tracer()
 
-    for i in range(n):
-        if checkpoint is not None:
-            checkpoint(phase="dp", step=i, total=n)
-        dep = seq.dep[i]
-        comps = seq.connected_subsets(i)
-        children = tuple(max(c) for c in comps)
-        full_axes = dep + (i,)
-        table_shape = tuple(int(ksize[d]) for d in dep)
-        table_cells = int(np.prod(table_shape, dtype=np.int64)) if dep else 1
+    with tracer.span("dp", vertices=n, method=method_name) as dp_span:
+        for i in range(n):
+            if checkpoint is not None:
+                checkpoint(phase="dp", step=i, total=n)
+            with tracer.span("dp.vertex",
+                             name=seq.name(i) if tracer.enabled else ""):
+                dep = seq.dep[i]
+                comps = seq.connected_subsets(i)
+                children = tuple(max(c) for c in comps)
+                full_axes = dep + (i,)
+                table_shape = tuple(int(ksize[d]) for d in dep)
+                table_cells = int(np.prod(table_shape, dtype=np.int64)) if dep else 1
 
-        # -- memory accounting (tables are float64 + int32 argmin) --------
-        needed = table_cells * 12 + min(table_cells * int(ksize[i]), chunk_cells) * 8
-        if live_bytes + needed > memory_budget:
-            raise SearchResourceError(
-                f"DP table for vertex {seq.name(i)!r} needs {needed} bytes "
-                f"({live_bytes} live, budget {memory_budget}); |D(i)|={len(dep)}",
-                requested_bytes=live_bytes + needed, budget_bytes=memory_budget)
-        # The transient high-water mark for this vertex: everything live
-        # before it, plus the new table/argmin and the chunked cost array
-        # (both inside `needed` — counting them again after the
-        # ``live_bytes`` update below would double-charge the table).
-        peak_bytes = max(peak_bytes, live_bytes + needed)
+                # -- memory accounting (tables are float64 + int32 argmin) --------
+                needed = table_cells * 12 + min(table_cells * int(ksize[i]), chunk_cells) * 8
+                if live_bytes + needed > memory_budget:
+                    raise SearchResourceError(
+                        f"DP table for vertex {seq.name(i)!r} needs {needed} bytes "
+                        f"({live_bytes} live, budget {memory_budget}); |D(i)|={len(dep)}",
+                        requested_bytes=live_bytes + needed, budget_bytes=memory_budget)
+                # The transient high-water mark for this vertex: everything live
+                # before it, plus the new table/argmin and the chunked cost array
+                # (both inside `needed` — counting them again after the
+                # ``live_bytes`` update below would double-charge the table).
+                peak_bytes = max(peak_bytes, live_bytes + needed)
 
-        terms: list[tuple[np.ndarray, tuple[int, ...]]] = []
-        terms.append((tables.lc[seq.name(i)], (i,)))
-        for u in seq.later_neighbors(i):
-            mat = tables.tx(seq.name(i), seq.name(u))  # [K_i, K_u]
-            terms.append((mat, (i, u)))
-        for j in children:
-            rec = records[j]
-            assert rec is not None and rec.table is not None, \
-                f"child table {j} consumed twice"
-            terms.append((rec.table, rec.axes))
+                terms: list[tuple[np.ndarray, tuple[int, ...]]] = []
+                terms.append((tables.lc[seq.name(i)], (i,)))
+                for u in seq.later_neighbors(i):
+                    mat = tables.tx(seq.name(i), seq.name(u))  # [K_i, K_u]
+                    terms.append((mat, (i, u)))
+                for j in children:
+                    rec = records[j]
+                    assert rec is not None and rec.table is not None, \
+                        f"child table {j} consumed twice"
+                    terms.append((rec.table, rec.axes))
 
-        table, argmin = chunked_min_argmin(
-            terms, full_axes, i, int(ksize[i]), table_shape, chunk_cells)
-        cells_evaluated += table_cells * int(ksize[i])
+                table, argmin = chunked_min_argmin(
+                    terms, full_axes, i, int(ksize[i]), table_shape, chunk_cells)
+                cells_evaluated += table_cells * int(ksize[i])
 
-        # Child tables are consulted exactly once; free them.
-        for j in children:
-            rec = records[j]
-            assert rec is not None and rec.table is not None
-            live_bytes -= rec.table.nbytes
-            rec.table = None
+                # Child tables are consulted exactly once; free them.
+                for j in children:
+                    rec = records[j]
+                    assert rec is not None and rec.table is not None
+                    live_bytes -= rec.table.nbytes
+                    rec.table = None
 
-        records[i] = _VertexRecord(axes=dep, table=table, argmin=argmin,
-                                   children=children)
-        live_bytes += table.nbytes + argmin.nbytes
+                records[i] = _VertexRecord(axes=dep, table=table, argmin=argmin,
+                                           children=children)
+                live_bytes += table.nbytes + argmin.nbytes
 
-    # -- total cost: sum of the (scalar) root tables -----------------------
-    roots = seq.roots()
-    total = 0.0
-    for rt in roots:
-        rec = records[rt]
-        assert rec is not None and rec.table is not None and rec.table.shape == ()
-        total += float(rec.table)
+        # -- total cost: sum of the (scalar) root tables -----------------------
+        roots = seq.roots()
+        total = 0.0
+        for rt in roots:
+            rec = records[rt]
+            assert rec is not None and rec.table is not None and rec.table.shape == ()
+            total += float(rec.table)
 
-    # -- back-substitution (Fig. 4's v.cfg extraction), iterative ----------
-    chosen: dict[int, int] = {}
-    stack = list(roots)
-    while stack:
-        i = stack.pop()
-        rec = records[i]
-        assert rec is not None
-        idx = tuple(chosen[d] for d in rec.axes)
-        chosen[i] = int(rec.argmin[idx])
-        stack.extend(rec.children)
-    assert len(chosen) == n, "extraction did not reach every vertex"
+        # -- back-substitution (Fig. 4's v.cfg extraction), iterative ----------
+        chosen: dict[int, int] = {}
+        stack = list(roots)
+        while stack:
+            i = stack.pop()
+            rec = records[i]
+            assert rec is not None
+            idx = tuple(chosen[d] for d in rec.axes)
+            chosen[i] = int(rec.argmin[idx])
+            stack.extend(rec.children)
+        assert len(chosen) == n, "extraction did not reach every vertex"
+
+        dp_span.set(cells=cells_evaluated, peak_bytes=peak_bytes)
 
     indices = {seq.name(i): k for i, k in chosen.items()}
     strategy = Strategy.from_indices(space, indices)
@@ -227,6 +273,12 @@ def find_best_strategy(
     # worker count) alongside the DP's own counters.
     for key, val in tables.build_stats.items():
         stats[f"table_{key}"] = float(val)
+    metrics = current_metrics()
+    metrics.counter("dp_cells_total", "DP cells evaluated").inc(cells_evaluated)
+    metrics.counter("dp_vertices_total", "DP vertices solved").inc(n)
+    if elapsed > 0:
+        metrics.gauge("dp_cells_per_second",
+                      "DP cell throughput").set(cells_evaluated / elapsed)
     return SearchResult(
         strategy=strategy,
         cost=total,

@@ -23,6 +23,7 @@ from .exceptions import SearchResourceError
 from .graph import CompGraph
 from .sequencer import breadth_first_seq
 from .strategy import SearchResult, Strategy
+from ..obs.profile import profiled
 from ._tensorops import chunked_min_argmin
 from .dp import DEFAULT_CHUNK_CELLS, DEFAULT_MEMORY_BUDGET
 
@@ -40,6 +41,7 @@ def bf_dependent_sets(adj: Sequence[Sequence[int]]) -> list[tuple[int, ...]]:
     return out
 
 
+@profiled("baseline.bf")
 def naive_bf_strategy(
     graph: CompGraph,
     space: ConfigSpace,

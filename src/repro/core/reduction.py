@@ -372,6 +372,7 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
                    *, dominance: bool = True, contraction: bool = True,
                    max_rounds: int = 64,
                    checkpoint: "Callable[..., None] | None" = None,
+                   ctx: "object | None" = None,
                    ) -> ReducedProblem:
     """Shrink a search problem by dominance pruning and chain contraction.
 
@@ -381,8 +382,15 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
     :meth:`ReducedProblem.expand_indices` recovers a witnessing strategy.
     Runs *after* any table-cache lookup, so cached tables stay canonical.
     ``checkpoint`` (`repro.runtime.make_checkpoint`) is polled once per
-    fixed-point round; it aborts by raising, always between rounds.
+    fixed-point round; it aborts by raising, always between rounds.  A
+    `repro.runtime.RunContext` passed as ``ctx`` supplies the checkpoint
+    (and its observability pair) instead.
     """
+    from ..obs.profile import metrics_of, tracer_of
+
+    if ctx is not None:
+        checkpoint = ctx.make_checkpoint()
+    tracer = tracer_of(ctx)
     t0 = time.perf_counter()
     red = _Reducer(graph, space, tables)
     cells_before = red.work_cells()
@@ -390,18 +398,23 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
 
     rounds = 0
     changed = True
-    while changed and rounds < max_rounds:
-        if checkpoint is not None:
-            checkpoint(phase="reduction", step=rounds, total=max_rounds)
-        changed = False
-        rounds += 1
-        if dominance:
-            for name in list(red.lc):
-                changed |= red.prune_node(name)
-        if contraction:
-            for name in [n for n in red.order if n in red.lc]:
-                if len(red.adj[name]) <= 2:
-                    changed |= red.eliminate_node(name)
+    with tracer.span("reduction", cells_before=cells_before) as red_span:
+        while changed and rounds < max_rounds:
+            if checkpoint is not None:
+                checkpoint(phase="reduction", step=rounds, total=max_rounds)
+            changed = False
+            rounds += 1
+            with tracer.span("reduction.round", round=rounds):
+                if dominance:
+                    for name in list(red.lc):
+                        changed |= red.prune_node(name)
+                if contraction:
+                    for name in [n for n in red.order if n in red.lc]:
+                        if len(red.adj[name]) <= 2:
+                            changed |= red.eliminate_node(name)
+        red_span.set(rounds=rounds, cells_after=red.work_cells())
+    metrics_of(ctx).counter(
+        "reduction_rounds_total", "search-space reduction rounds").inc(rounds)
 
     survivors = tuple(n for n in red.order if n in red.lc)
     reduced_space = space.restrict({n: red.sel[n] for n in survivors})

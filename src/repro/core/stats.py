@@ -1,0 +1,58 @@
+"""The frozen `SearchResult.stats` key schema.
+
+Every searcher annotates its result with counters, and until PR 5 the
+key names were folklore — exporters and tests grepped the codebase to
+learn them.  `STATS_KEYS` is now the single registry: every key a
+searcher may emit, with its meaning; `SearchResult.with_stats` validates
+against it, so a typo'd or ad-hoc key fails at the merge site instead of
+silently producing a column nobody reads.
+
+Extending the schema is deliberate: add the key **here** (with a
+description) in the same change that starts emitting it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["STATS_KEYS", "STATS_KEY_PREFIXES", "validate_stats_keys"]
+
+#: Every bare stats key a searcher may emit, with its meaning.
+STATS_KEYS: dict[str, str] = {
+    # -- tensorized / breadth-first DP (repro.core.dp, repro.core.naive)
+    "cells": "DP (or brute-force) cost cells evaluated",
+    "peak_bytes": "high-water mark of live DP table bytes",
+    "max_dependent": "largest dependent-set size M of the ordering",
+    "k_max": "largest per-node configuration count K",
+    "vertices": "sequenced vertices the DP solved",
+    # -- MCMC comparator (repro.baselines.mcmc)
+    "iterations": "MCMC iterations executed",
+    "proposals": "MCMC proposals evaluated (incl. rejected)",
+    "best_iter": "iteration at which the best strategy was found",
+    # -- random search (repro.baselines.random_search)
+    "samples": "random strategies sampled",
+    # -- resilient ladder (repro.resilience.runner)
+    "resilience_retries": "degradation-ladder rungs past the initial attempt",
+}
+
+#: Namespaced families spliced onto results by phase telemetry.  A key
+#: ``<prefix><field>`` is valid when ``<field>`` names an entry of the
+#: family's source dict: ``table_*`` mirrors
+#: ``CostTables.build_stats`` and ``reduction_*`` the counters of
+#: `repro.core.reduction.reduce_problem`.
+STATS_KEY_PREFIXES: dict[str, str] = {
+    "table_": "cost-table construction telemetry (CostTables.build_stats)",
+    "reduction_": "search-space reduction counters (reduce_problem)",
+}
+
+
+def validate_stats_keys(keys: Iterable[str]) -> None:
+    """Raise ``ValueError`` on any key outside the frozen schema."""
+    unknown = [k for k in keys
+               if k not in STATS_KEYS
+               and not any(k.startswith(p) for p in STATS_KEY_PREFIXES)]
+    if unknown:
+        raise ValueError(
+            f"unknown SearchResult.stats key(s) {sorted(unknown)}; the "
+            "schema is frozen — register new keys in "
+            "repro.core.stats.STATS_KEYS")

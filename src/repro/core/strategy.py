@@ -164,7 +164,13 @@ class SearchResult:
 
         Used to splice phase telemetry (table construction, search-space
         reduction) onto a search outcome without mutating the original.
+        Keys are validated against the frozen schema
+        (`repro.core.stats.STATS_KEYS`) so exporters and tests never
+        have to guess key names.
         """
+        from .stats import validate_stats_keys
+
+        validate_stats_keys(extra)
         merged = dict(self.stats)
         merged.update(extra)
         return SearchResult(strategy=self.strategy, cost=self.cost,

@@ -54,8 +54,9 @@ def _cached_setup(name: str, p: int, machine_name: str, mode: str,
     if cache_dir is not None:
         from ..core.tablecache import TableCache
         cache = TableCache(cache_dir)
-    tables = CostModel(machine).build_tables(graph, space, jobs=jobs,
-                                             cache=cache)
+    from ..runtime.context import RunContext
+    tables = CostModel(machine).build_tables(
+        graph, space, ctx=RunContext(jobs=jobs, cache=cache))
     return BenchSetup(name=name, graph=graph, p=p, machine=machine,
                       space=space, tables=tables)
 

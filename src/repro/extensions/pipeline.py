@@ -113,14 +113,16 @@ def pipeline_pase(graph: CompGraph, p: int, stages: int, *,
     per_stage = p // stages
     parts = partition_stages(graph, stages)
     cm = CostModel(machine)
+    from ..runtime.context import RunContext
 
+    ctx = RunContext(jobs=jobs, cache=cache)
     strategies: list[Strategy] = []
     costs: list[float] = []
     merged: dict[str, tuple[int, ...]] = {}
     for part in parts:
         sub = graph.induced_subgraph(part)
         space = ConfigSpace.build(sub, per_stage, mode=mode)
-        tables = cm.build_tables(sub, space, jobs=jobs, cache=cache)
+        tables = cm.build_tables(sub, space, ctx=ctx)
         res = find_best_strategy(sub, space, tables, reduce=reduce)
         strategies.append(res.strategy)
         costs.append(res.cost)

@@ -1,0 +1,68 @@
+"""Zero-dependency observability for the PaSE search pipeline.
+
+Three pieces, all defaulting to no-ops so the uninstrumented hot path
+stays bit-identical:
+
+* `trace` — nested spans with a crash-safe JSONL writer
+  (`Tracer`, `read_trace`, `span_tree`, `format_trace_summary`)
+* `metrics` — counter/gauge/histogram registry with JSON and
+  Prometheus-text exporters (`Metrics`)
+* `profile` — ambient ``contextvars`` plumbing (`activate`,
+  `current_tracer`, `current_metrics`, `@profiled`)
+
+See DESIGN.md §9 for the span model and metric-name catalogue.
+"""
+
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    Metrics,
+    NULL_METRICS,
+    NullMetrics,
+    atomic_write_text,
+)
+from .profile import (
+    activate,
+    current_metrics,
+    current_tracer,
+    metrics_of,
+    profiled,
+    tracer_of,
+)
+from .trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TRACE_VERSION,
+    Tracer,
+    format_trace_summary,
+    read_trace,
+    span_tree,
+)
+
+__all__ = [
+    "TRACE_VERSION",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "read_trace",
+    "span_tree",
+    "format_trace_summary",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Metrics",
+    "NullMetrics",
+    "NULL_METRICS",
+    "DEFAULT_BUCKETS",
+    "atomic_write_text",
+    "activate",
+    "current_tracer",
+    "current_metrics",
+    "tracer_of",
+    "metrics_of",
+    "profiled",
+]

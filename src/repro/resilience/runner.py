@@ -39,6 +39,7 @@ from ..core.dp import DEFAULT_CHUNK_CELLS, DEFAULT_MEMORY_BUDGET, \
 from ..core.exceptions import SearchResourceError
 from ..core.graph import CompGraph
 from ..core.strategy import SearchResult
+from ..obs.profile import metrics_of, tracer_of
 
 __all__ = ["AttemptRecord", "ResilienceReport", "coarsen_config_space",
            "resilient_find_best_strategy"]
@@ -136,27 +137,36 @@ def resilient_find_best_strategy(
     method_name: str = "pase-dp-resilient",
     search_fn: Callable[..., SearchResult] = find_best_strategy,
     checkpoint: Callable[..., None] | None = None,
+    ctx: "object | None" = None,
 ) -> tuple[SearchResult, ResilienceReport]:
     """Run the DP with graceful degradation instead of a hard failure.
 
     Returns the first successful `SearchResult` together with the
     `ResilienceReport` of every attempt.  When all rungs fail, the last
     `SearchResourceError` is re-raised with the report attached as
-    ``err.report``.  ``checkpoint`` (`repro.runtime.make_checkpoint`) is
-    forwarded into every rung's search, so a deadline or SIGINT stops
-    the ladder mid-rung instead of grinding through the remaining ones.
+    ``err.report``.  ``ctx`` (a `repro.runtime.RunContext`) — or a bare
+    ``checkpoint`` callable, which is wrapped into one — is forwarded
+    into every rung's search, so a deadline or SIGINT stops the ladder
+    mid-rung instead of grinding through the remaining ones.
     """
+    if ctx is None and checkpoint is not None:
+        from ..runtime.context import RunContext
+
+        ctx = RunContext(checkpoint=checkpoint)
+    tracer = tracer_of(ctx)
     report = ResilienceReport()
 
     def attempt(stage: str, detail: str, *, a_order, a_chunk,
                 a_space, a_tables) -> SearchResult | None:
         t0 = time.perf_counter()
-        extra = {} if checkpoint is None else {"checkpoint": checkpoint}
+        extra = {} if ctx is None else {"ctx": ctx}
         try:
-            result = search_fn(graph, a_space, a_tables, order=a_order,
-                               memory_budget=memory_budget,
-                               chunk_cells=a_chunk,
-                               method_name=method_name, **extra)
+            with tracer.span("resilience.attempt", stage=stage,
+                             detail=detail):
+                result = search_fn(graph, a_space, a_tables, order=a_order,
+                                   memory_budget=memory_budget,
+                                   chunk_cells=a_chunk,
+                                   method_name=method_name, **extra)
         except SearchResourceError as err:
             report.attempts.append(AttemptRecord(
                 stage=stage, detail=detail,
@@ -174,53 +184,67 @@ def resilient_find_best_strategy(
 
     attempt.last_error = None  # type: ignore[attr-defined]
 
-    cur_chunk = chunk_cells
-    cur_order = order
-    cur_space, cur_tables = space, tables
+    def ladder() -> SearchResult:
+        cur_chunk = chunk_cells
+        cur_order = order
+        cur_space, cur_tables = space, tables
 
-    res = attempt("initial",
-                  f"order={'caller' if order is not None else 'generateseq'} "
-                  f"chunk={chunk_cells} budget={memory_budget}",
-                  a_order=cur_order, a_chunk=cur_chunk,
-                  a_space=cur_space, a_tables=cur_tables)
-    if res is not None:
-        return res, report
-
-    # Rung 2: adaptive chunk-size reduction.
-    for div in (8, 64):
-        smaller = max(MIN_CHUNK_CELLS, chunk_cells // div)
-        if smaller >= cur_chunk:
-            continue
-        cur_chunk = smaller
-        res = attempt(f"chunk/{div}", f"chunk={cur_chunk}",
+        res = attempt("initial",
+                      f"order={'caller' if order is not None else 'generateseq'} "
+                      f"chunk={chunk_cells} budget={memory_budget}",
                       a_order=cur_order, a_chunk=cur_chunk,
                       a_space=cur_space, a_tables=cur_tables)
         if res is not None:
-            return res, report
+            return res
 
-    # Rung 3: fall back from the caller's ordering to GENERATESEQ.
-    if cur_order is not None:
-        cur_order = None
-        res = attempt("generateseq-order", "order=generateseq",
-                      a_order=None, a_chunk=cur_chunk,
-                      a_space=cur_space, a_tables=cur_tables)
-        if res is not None:
-            return res, report
+        # Rung 2: adaptive chunk-size reduction.
+        for div in (8, 64):
+            smaller = max(MIN_CHUNK_CELLS, chunk_cells // div)
+            if smaller >= cur_chunk:
+                continue
+            cur_chunk = smaller
+            res = attempt(f"chunk/{div}", f"chunk={cur_chunk}",
+                          a_order=cur_order, a_chunk=cur_chunk,
+                          a_space=cur_space, a_tables=cur_tables)
+            if res is not None:
+                return res
 
-    # Rung 4: configuration-space coarsening, halving K each round.
-    for rnd in range(1, coarsen_rounds + 1):
-        if cur_space.max_size <= 1:
-            break
-        cur_space, cur_tables = coarsen_config_space(cur_space, cur_tables)
-        res = attempt(f"coarsen x{2 ** rnd}",
-                      f"K_max={cur_space.max_size} "
-                      f"cells={cur_space.total_cells()}",
-                      a_order=cur_order, a_chunk=cur_chunk,
-                      a_space=cur_space, a_tables=cur_tables)
-        if res is not None:
-            return res, report
+        # Rung 3: fall back from the caller's ordering to GENERATESEQ.
+        if cur_order is not None:
+            cur_order = None
+            res = attempt("generateseq-order", "order=generateseq",
+                          a_order=None, a_chunk=cur_chunk,
+                          a_space=cur_space, a_tables=cur_tables)
+            if res is not None:
+                return res
 
-    err = attempt.last_error  # type: ignore[attr-defined]
-    assert isinstance(err, SearchResourceError)
-    err.report = report  # type: ignore[attr-defined]
-    raise err
+        # Rung 4: configuration-space coarsening, halving K each round.
+        for rnd in range(1, coarsen_rounds + 1):
+            if cur_space.max_size <= 1:
+                break
+            cur_space, cur_tables = coarsen_config_space(cur_space, cur_tables)
+            res = attempt(f"coarsen x{2 ** rnd}",
+                          f"K_max={cur_space.max_size} "
+                          f"cells={cur_space.total_cells()}",
+                          a_order=cur_order, a_chunk=cur_chunk,
+                          a_space=cur_space, a_tables=cur_tables)
+            if res is not None:
+                return res
+
+        err = attempt.last_error  # type: ignore[attr-defined]
+        assert isinstance(err, SearchResourceError)
+        err.report = report  # type: ignore[attr-defined]
+        raise err
+
+    with tracer.span("resilience") as ladder_span:
+        try:
+            result = ladder()
+        finally:
+            ladder_span.set(attempts=len(report.attempts),
+                            retries=report.retries,
+                            succeeded=report.succeeded)
+    metrics_of(ctx).counter(
+        "resilience_retries_total",
+        "degradation-ladder retries past the initial attempt").inc(
+            report.retries)
+    return result, report

@@ -7,6 +7,7 @@ structured `RunReport` with documented per-failure exit codes.
 """
 
 from .budget import Cancellation, RunBudget, make_checkpoint
+from .context import RunContext
 from .journal import JOURNAL_VERSION, SearchJournal
 from .report import (
     EXIT_CODES,
@@ -26,6 +27,7 @@ from .signals import trap_signals
 __all__ = [
     "Cancellation",
     "RunBudget",
+    "RunContext",
     "make_checkpoint",
     "SearchJournal",
     "JOURNAL_VERSION",

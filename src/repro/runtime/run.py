@@ -15,6 +15,15 @@ Every failure mode degrades instead of crashing:
   is deterministic, so an interrupted-then-resumed run returns exactly
   the strategy and cost an uninterrupted run would.
 
+All run-scoped knobs travel in one `RunContext` (``ctx=``): budget,
+cancellation, journal, jobs, cache, and the observability pair.  The
+context's tracer/metrics are activated for the whole pipeline, so every
+phase — including baselines dispatched through the experiment machinery
+— lands in the same trace; the span names mirror the `RunReport` phase
+names (``run`` → ``tables`` / ``search``), with the deeper structure
+(``tables.build``, ``reduction.round``, ``dp.vertex``,
+``resilience.attempt``, ``baseline.*``) nested beneath them.
+
 The terminating exception of an unsuccessful run carries the structured
 `RunReport` as ``err.run_report`` so the CLI can print what happened and
 exit with the documented per-failure code.
@@ -26,6 +35,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from .._compat import UNSET, reject_ctx_conflict, warn_deprecated_kwargs
 from ..core.configs import ConfigSpace
 from ..core.costmodel import CostModel, CostTables
 from ..core.dp import find_best_strategy
@@ -38,7 +48,9 @@ from ..core.exceptions import (
 from ..core.graph import CompGraph
 from ..core.machine import MachineSpec
 from ..core.strategy import SearchResult
-from .budget import Cancellation, RunBudget, make_checkpoint
+from ..obs.profile import metrics_of, tracer_of
+from .budget import Cancellation, RunBudget
+from .context import RunContext
 from .journal import SearchJournal
 from .report import RunReport
 
@@ -70,7 +82,8 @@ def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
     return bit-identical results, which is exactly the property that
     makes journal resume sound.  Deliberately excludes budgets' wall
     clocks and jobs/cache knobs — those change how fast the answer
-    arrives, not what it is.
+    arrives, not what it is.  The observability pair is excluded for the
+    same reason: tracing a run must never change what it computes.
     """
     from ..core.tablecache import table_digest
 
@@ -100,12 +113,13 @@ def execute_search(
     order: Sequence[str] | None = None,
     reduce: bool = False,
     resilient: bool = False,
-    jobs: int | None = None,
-    cache: "object | None" = None,
-    budget: RunBudget | None = None,
-    cancellation: Cancellation | None = None,
-    journal: SearchJournal | None = None,
+    ctx: RunContext | None = None,
     resume: bool = False,
+    jobs: int | None = UNSET,
+    cache: "object | None" = UNSET,
+    budget: RunBudget | None = UNSET,
+    cancellation: Cancellation | None = UNSET,
+    journal: SearchJournal | None = UNSET,
 ) -> RunOutcome:
     """Run the full search pipeline under the hardened runtime.
 
@@ -118,141 +132,186 @@ def execute_search(
         ``"ours"`` runs the tensorized DP (optionally ``resilient`` /
         ``reduce`` / with a caller ``order``); anything else dispatches
         to the matching baseline via `repro.experiments.common`.
-    jobs, cache:
-        Table-construction parallelism and on-disk cache, as in
-        `CostModel.build_tables`.  When a ``journal`` is given its
-        embedded table store is used instead of ``cache``, so resumes
-        find the interrupted build's tables.
-    budget, cancellation:
-        The run's `RunBudget` (deadline + DP memory) and `Cancellation`
-        token (pair with `trap_signals` for SIGINT/SIGTERM handling).
-    journal, resume:
-        Crash-safe journaling.  ``resume=True`` requires a journal whose
-        fingerprint matches this run; a journal holding a finished
-        search replays it without recomputing anything.
+    ctx:
+        The run's `RunContext`: budget (deadline + DP memory),
+        cancellation token (pair with `trap_signals`), crash-safe
+        journal, table-build ``jobs``/``cache``, and the tracer/metrics
+        pair activated around the whole pipeline.  When the context
+        carries a journal its embedded table store is used instead of
+        ``ctx.cache``, so resumes find the interrupted build's tables.
+    resume:
+        Requires a journal whose fingerprint matches this run; a journal
+        holding a finished search replays it without recomputing
+        anything (zero-duration ``tables``/``search`` spans are still
+        emitted so traces always cover every reported phase).
+    jobs, cache, budget, cancellation, journal:
+        **Deprecated** loose spellings of the same `RunContext` fields
+        (bit-identical behaviour, `DeprecationWarning`); mixing them
+        with ``ctx=`` is an error.
 
     Returns a `RunOutcome`; on failure raises the underlying error
     (`DeadlineExceededError`, `RunInterrupted`, `SearchResourceError`)
     with the structured `RunReport` attached as ``err.run_report`` and
     the journal flushed.
     """
+    legacy = [name for name, val in
+              (("jobs", jobs), ("cache", cache), ("budget", budget),
+               ("cancellation", cancellation), ("journal", journal))
+              if val is not UNSET]
+    if legacy:
+        if ctx is not None:
+            reject_ctx_conflict("execute_search", legacy)
+        warn_deprecated_kwargs("execute_search", legacy)
+        ctx = RunContext(
+            budget=None if budget is UNSET else budget,
+            cancellation=None if cancellation is UNSET else cancellation,
+            journal=None if journal is UNSET else journal,
+            jobs=None if jobs is UNSET else jobs,
+            cache=None if cache is UNSET else cache)
+    if ctx is None:
+        ctx = RunContext()
     if model is None:
         if machine is None:
             raise ValueError("pass either machine= or model=")
         model = CostModel(machine)
     machine = model.machine
-    budget = (budget or RunBudget()).start()
-    cancellation = cancellation or Cancellation()
-    checkpoint = make_checkpoint(budget, cancellation, journal)
+    if ctx.budget is None or ctx.cancellation is None:
+        ctx = ctx.with_overrides(
+            budget=ctx.budget or RunBudget(),
+            cancellation=ctx.cancellation or Cancellation())
+    ctx.started()
+    run_budget = ctx.budget
+    journal_obj = ctx.journal
+    tracer = tracer_of(ctx)
+    metrics = metrics_of(ctx)
     report = RunReport(
-        journal_path=None if journal is None else str(journal.path))
+        journal_path=None if journal_obj is None else str(journal_obj.path))
 
     fingerprint = run_fingerprint(
         graph, space, model, method=method, seed=seed, reduce=reduce,
-        resilient=resilient, memory_budget=budget.memory_budget, order=order)
+        resilient=resilient, memory_budget=run_budget.memory_budget,
+        order=order)
 
-    if journal is None:
-        if resume:
-            raise JournalError("--resume requires a journal "
-                               "(pass journal= / --journal-dir)")
-    else:
-        report.resumed = journal.open(fingerprint, resume=resume)
-        if report.resumed:
-            prior = journal.load_result()
-            if prior is not None:
-                # The journalled search finished: replay it verbatim.
-                for ev in journal.events:
-                    report.degrade(f"{ev['kind']}: {ev['detail']}")
-                report.add_phase("tables", 0.0, "journal")
-                report.add_phase("search", 0.0, "journal")
-                report.best_cost = prior.cost
-                return RunOutcome(result=prior, report=report)
-
-    phase = ["tables", time.perf_counter()]
-
-    def _enter(name: str) -> float:
-        phase[0] = name
-        phase[1] = time.perf_counter()
-        return phase[1]
-
-    try:
-        # -- phase 1: cost tables (journal store beats the user cache) ----
-        _enter("tables")
-        eff_cache = cache if journal is None else journal.table_cache()
-        tables = model.build_tables(graph, space, jobs=jobs,
-                                    cache=eff_cache, checkpoint=checkpoint)
-        status = "cache-hit" if tables.build_stats.get("cache_hit") else "ok"
-        if tables.build_stats.get("degraded"):
-            status = "degraded"
-            msg = ("table build fell back to the serial path after pool "
-                   f"failure ({tables.degraded_reason})")
-            report.degrade(msg)
-            if journal is not None:
-                journal.event("table-build-degraded", msg)
-        quarantined = getattr(eff_cache, "quarantined", 0)
-        if quarantined:
-            msg = (f"quarantined {quarantined} corrupt table-cache "
-                   f"entr{'y' if quarantined == 1 else 'ies'} and rebuilt")
-            report.degrade(msg)
-            if journal is not None:
-                journal.event("cache-quarantine", msg)
-        report.add_phase("tables", time.perf_counter() - phase[1], status)
-        if journal is not None:
-            journal.phase_done("tables",
-                               digest=fingerprint["tables_digest"],
-                               degraded=bool(tables.build_stats.get(
-                                   "degraded")))
-
-        # -- phase 2: the search itself -----------------------------------
-        _enter("search")
-        resilience = None
-        if method == "ours":
-            if resilient:
-                from ..resilience import resilient_find_best_strategy
-
-                result, resilience = resilient_find_best_strategy(
-                    graph, space, tables, order=order,
-                    memory_budget=budget.memory_budget,
-                    search_fn=_reducing_search(reduce),
-                    checkpoint=checkpoint)
-                if resilience.retries:
-                    msg = ("resilient ladder degraded "
-                           f"{resilience.retries}x: "
-                           + ", ".join(resilience.degradations))
-                    report.degrade(msg)
-                    if journal is not None:
-                        journal.event("search-degraded", msg)
-            else:
-                result = find_best_strategy(
-                    graph, space, tables, order=order,
-                    memory_budget=budget.memory_budget, reduce=reduce,
-                    checkpoint=checkpoint)
+    with ctx.observe(), tracer.span(
+            "run", method=method, p=space.p, reduce=reduce,
+            resilient=resilient, resume=resume) as run_span:
+        if journal_obj is None:
+            if resume:
+                raise JournalError("--resume requires a journal "
+                                   "(pass a RunContext journal / "
+                                   "--journal-dir)")
         else:
-            result = _run_baseline(graph, space, tables, machine,
-                                   method, seed, reduce)
-        if "table_build_seconds" not in result.stats:
-            result = result.with_stats(
-                **{f"table_{k}": float(v)
-                   for k, v in tables.build_stats.items()})
-        report.add_phase("search", time.perf_counter() - phase[1], "ok")
-        report.best_cost = result.cost
-        if journal is not None:
-            journal.record_result(result)
-        return RunOutcome(result=result, report=report, tables=tables,
-                          resilience=resilience)
+            report.resumed = journal_obj.open(fingerprint, resume=resume)
+            if report.resumed:
+                prior = journal_obj.load_result()
+                if prior is not None:
+                    # The journalled search finished: replay it verbatim,
+                    # with zero-work phase spans so the trace still covers
+                    # everything the report records.
+                    for ev in journal_obj.events:
+                        report.degrade(f"{ev['kind']}: {ev['detail']}")
+                    for name in ("tables", "search"):
+                        with tracer.span(name, replayed=True):
+                            pass
+                        report.add_phase(name, 0.0, "journal")
+                    report.best_cost = prior.cost
+                    run_span.set(best_cost=prior.cost, replayed=True)
+                    return RunOutcome(result=prior, report=report)
 
-    except RunInterrupted as err:
-        _finalize_failure(report, journal, "interrupted", err,
-                          phase[0], time.perf_counter() - phase[1])
-        raise
-    except DeadlineExceededError as err:
-        _finalize_failure(report, journal, "deadline", err,
-                          phase[0], time.perf_counter() - phase[1])
-        raise
-    except SearchResourceError as err:
-        _finalize_failure(report, journal, "resource-error", err,
-                          phase[0], time.perf_counter() - phase[1])
-        raise
+        phase = ["tables", time.perf_counter()]
+
+        def _enter(name: str) -> float:
+            phase[0] = name
+            phase[1] = time.perf_counter()
+            return phase[1]
+
+        try:
+            # -- phase 1: cost tables (journal store beats the user cache)
+            _enter("tables")
+            with tracer.span("tables"):
+                tables_ctx = ctx
+                if journal_obj is not None:
+                    tables_ctx = ctx.with_overrides(
+                        cache=journal_obj.table_cache())
+                tables = model.build_tables(graph, space, ctx=tables_ctx)
+                status = ("cache-hit"
+                          if tables.build_stats.get("cache_hit") else "ok")
+                if tables.build_stats.get("degraded"):
+                    status = "degraded"
+                    msg = ("table build fell back to the serial path after "
+                           f"pool failure ({tables.degraded_reason})")
+                    report.degrade(msg)
+                    if journal_obj is not None:
+                        journal_obj.event("table-build-degraded", msg)
+                quarantined = getattr(tables_ctx.cache, "quarantined", 0)
+                if quarantined:
+                    msg = (f"quarantined {quarantined} corrupt table-cache "
+                           f"entr{'y' if quarantined == 1 else 'ies'} "
+                           "and rebuilt")
+                    report.degrade(msg)
+                    metrics.counter(
+                        "table_cache_quarantined_total",
+                        "corrupt table-cache entries quarantined").inc(
+                            quarantined)
+                    if journal_obj is not None:
+                        journal_obj.event("cache-quarantine", msg)
+            report.add_phase("tables", time.perf_counter() - phase[1], status)
+            if journal_obj is not None:
+                journal_obj.phase_done(
+                    "tables", digest=fingerprint["tables_digest"],
+                    degraded=bool(tables.build_stats.get("degraded")))
+
+            # -- phase 2: the search itself -------------------------------
+            _enter("search")
+            resilience = None
+            with tracer.span("search"):
+                if method == "ours":
+                    if resilient:
+                        from ..resilience import resilient_find_best_strategy
+
+                        result, resilience = resilient_find_best_strategy(
+                            graph, space, tables, order=order,
+                            memory_budget=run_budget.memory_budget,
+                            search_fn=_reducing_search(reduce), ctx=ctx)
+                        if resilience.retries:
+                            msg = ("resilient ladder degraded "
+                                   f"{resilience.retries}x: "
+                                   + ", ".join(resilience.degradations))
+                            report.degrade(msg)
+                            if journal_obj is not None:
+                                journal_obj.event("search-degraded", msg)
+                    else:
+                        result = find_best_strategy(
+                            graph, space, tables, order=order,
+                            memory_budget=run_budget.memory_budget,
+                            reduce=reduce, ctx=ctx)
+                else:
+                    result = _run_baseline(graph, space, tables, machine,
+                                           method, seed, reduce)
+            if "table_build_seconds" not in result.stats:
+                result = result.with_stats(
+                    **{f"table_{k}": float(v)
+                       for k, v in tables.build_stats.items()})
+            report.add_phase("search", time.perf_counter() - phase[1], "ok")
+            report.best_cost = result.cost
+            run_span.set(best_cost=result.cost)
+            if journal_obj is not None:
+                journal_obj.record_result(result)
+            return RunOutcome(result=result, report=report, tables=tables,
+                              resilience=resilience)
+
+        except RunInterrupted as err:
+            _finalize_failure(report, journal_obj, "interrupted", err,
+                              phase[0], time.perf_counter() - phase[1])
+            raise
+        except DeadlineExceededError as err:
+            _finalize_failure(report, journal_obj, "deadline", err,
+                              phase[0], time.perf_counter() - phase[1])
+            raise
+        except SearchResourceError as err:
+            _finalize_failure(report, journal_obj, "resource-error", err,
+                              phase[0], time.perf_counter() - phase[1])
+            raise
 
 
 def _reducing_search(reduce: bool):
@@ -268,7 +327,9 @@ def _run_baseline(graph: CompGraph, space: ConfigSpace, tables: CostTables,
                   machine: MachineSpec, method: str, seed: int,
                   reduce: bool) -> SearchResult:
     """Dispatch non-DP methods through the shared experiment machinery
-    (baselines run between checkpoints; MCMC carries its own budget)."""
+    (baselines run between checkpoints; MCMC carries its own budget).
+    The ambient tracer is already active, so the baselines' ``@profiled``
+    spans land under this run's ``search`` span."""
     from ..experiments.common import BenchSetup, search_with
 
     setup = BenchSetup(name="runtime", graph=graph, p=space.p,

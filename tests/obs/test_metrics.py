@@ -1,0 +1,133 @@
+"""Metrics registry: instruments, exporters, atomic dump."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    NULL_METRICS,
+    Counter,
+    Gauge,
+    Histogram,
+    Metrics,
+    atomic_write_text,
+)
+
+
+def test_counter_monotone():
+    c = Counter("dp_cells_total")
+    c.inc()
+    c.inc(41)
+    assert c.snapshot() == 42
+    with pytest.raises(ValueError, match="negative"):
+        c.inc(-1)
+
+
+def test_gauge_set_and_inc():
+    g = Gauge("dp_cells_per_second")
+    g.set(10.5)
+    g.inc(0.5)
+    assert g.snapshot() == 11.0
+
+
+def test_histogram_cumulative_buckets():
+    h = Histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 5.0, 50.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(55.55)
+    # Prometheus semantics: buckets are cumulative, +Inf catches all.
+    assert snap["buckets"]["0.1"] == 1
+    assert snap["buckets"]["1.0"] == 2
+    assert snap["buckets"]["10.0"] == 3
+    assert snap["buckets"]["+Inf"] == 4
+    with pytest.raises(ValueError, match="at least one bucket"):
+        Histogram("empty", buckets=())
+
+
+def test_registry_get_or_create_and_kind_clash():
+    m = Metrics()
+    c1 = m.counter("hits_total", "cache hits")
+    c2 = m.counter("hits_total")
+    assert c1 is c2
+    assert c1.help == "cache hits"  # first registration wins
+    with pytest.raises(ValueError, match="already registered as counter"):
+        m.gauge("hits_total")
+    with pytest.raises(ValueError, match="invalid metric name"):
+        m.counter("Bad-Name")
+    assert len(m) == 1
+
+
+def test_json_export_roundtrips():
+    m = Metrics()
+    m.counter("a_total", "a help").inc(3)
+    m.gauge("b").set(1.5)
+    m.histogram("c_seconds").observe(0.5)
+    doc = json.loads(m.to_json())
+    assert doc["a_total"] == {"kind": "counter", "help": "a help", "value": 3}
+    assert doc["b"]["value"] == 1.5
+    assert doc["c_seconds"]["value"]["count"] == 1
+
+
+def test_prometheus_exposition_format():
+    m = Metrics()
+    m.counter("dp_cells_total", "cells evaluated").inc(7)
+    m.histogram("poll_seconds", buckets=(0.1, 1.0)).observe(0.05)
+    text = m.to_prometheus()
+    assert "# HELP pase_dp_cells_total cells evaluated" in text
+    assert "# TYPE pase_dp_cells_total counter" in text
+    assert "pase_dp_cells_total 7" in text
+    assert "# TYPE pase_poll_seconds histogram" in text
+    assert 'pase_poll_seconds_bucket{le="0.1"} 1' in text
+    assert 'pase_poll_seconds_bucket{le="1.0"} 1' in text
+    assert 'pase_poll_seconds_bucket{le="+Inf"} 1' in text
+    assert "pase_poll_seconds_sum 0.05" in text
+    assert "pase_poll_seconds_count 1" in text
+    assert text.endswith("\n")
+
+
+def test_dump_picks_format_from_extension(tmp_path):
+    m = Metrics()
+    m.counter("x_total").inc()
+    prom = tmp_path / "out.prom"
+    js = tmp_path / "out.json"
+    m.dump(prom)
+    m.dump(js)
+    assert "# TYPE pase_x_total counter" in prom.read_text()
+    assert json.loads(js.read_text())["x_total"]["value"] == 1
+    # No stray temp files left behind.
+    assert sorted(p.name for p in tmp_path.iterdir()) == ["out.json",
+                                                          "out.prom"]
+
+
+def test_atomic_write_creates_parents_and_replaces(tmp_path):
+    path = tmp_path / "deep" / "nested" / "m.json"
+    atomic_write_text(path, "one")
+    atomic_write_text(path, "two")
+    assert path.read_text() == "two"
+    assert [p.name for p in path.parent.iterdir()] == ["m.json"]
+
+
+def test_null_metrics_is_inert(tmp_path):
+    assert NULL_METRICS.enabled is False
+    inst = NULL_METRICS.counter("anything")
+    inst.inc(5)
+    inst.set(3)
+    inst.observe(0.1)
+    assert inst.snapshot() == 0.0
+    assert NULL_METRICS.gauge("g") is inst  # shared singleton
+    assert NULL_METRICS.histogram("h") is inst
+    assert len(NULL_METRICS) == 0
+    assert list(NULL_METRICS) == []
+    assert NULL_METRICS.to_prometheus() == ""
+    NULL_METRICS.dump(tmp_path / "never.json")
+    assert not (tmp_path / "never.json").exists()
+
+
+def test_default_buckets_sorted_and_sub_second():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+    assert DEFAULT_BUCKETS[0] == 1e-6 and DEFAULT_BUCKETS[-1] == 1.0

@@ -1,0 +1,121 @@
+"""Ambient context: activate / current_* / resolution / @profiled."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import (
+    NULL_METRICS,
+    NULL_TRACER,
+    Metrics,
+    Tracer,
+    activate,
+    current_metrics,
+    current_tracer,
+    metrics_of,
+    profiled,
+    tracer_of,
+)
+
+
+def test_defaults_are_null():
+    assert current_tracer() is NULL_TRACER
+    assert current_metrics() is NULL_METRICS
+
+
+def test_activate_installs_and_restores():
+    tr, mx = Tracer(), Metrics()
+    with activate(tracer=tr, metrics=mx):
+        assert current_tracer() is tr
+        assert current_metrics() is mx
+    assert current_tracer() is NULL_TRACER
+    assert current_metrics() is NULL_METRICS
+
+
+def test_activate_restores_on_exception():
+    tr = Tracer()
+    with pytest.raises(RuntimeError):
+        with activate(tracer=tr):
+            raise RuntimeError
+    assert current_tracer() is NULL_TRACER
+
+
+def test_nested_activation_overrides_one_slot():
+    tr1, tr2, mx = Tracer(), Tracer(), Metrics()
+    with activate(tracer=tr1, metrics=mx):
+        with activate(tracer=tr2):  # metrics=None: leave ambient alone
+            assert current_tracer() is tr2
+            assert current_metrics() is mx
+        assert current_tracer() is tr1
+
+
+class _Ctx:
+    def __init__(self, tracer=None, metrics=None):
+        self.tracer = tracer
+        self.metrics = metrics
+
+
+def test_of_resolvers_prefer_explicit_then_ambient():
+    tr, mx = Tracer(), Metrics()
+    assert tracer_of(None) is NULL_TRACER
+    assert tracer_of(_Ctx(tracer=tr)) is tr
+    assert metrics_of(_Ctx(metrics=mx)) is mx
+    ambient = Tracer()
+    with activate(tracer=ambient):
+        # ctx slot of None means inherit the ambient pair.
+        assert tracer_of(_Ctx()) is ambient
+        assert tracer_of(None) is ambient
+        assert tracer_of(_Ctx(tracer=tr)) is tr  # explicit still wins
+    # Objects without the attributes (duck-typing) fall back too.
+    assert tracer_of(object()) is NULL_TRACER
+    assert metrics_of(object()) is NULL_METRICS
+
+
+def test_profiled_bare_uses_qualname():
+    @profiled
+    def work(x):
+        return x + 1
+
+    tr = Tracer()
+    with activate(tracer=tr):
+        assert work(1) == 2
+    assert len(tr.records) == 1
+    assert "work" in tr.records[0]["name"]
+    assert work.__wrapped__(1) == 2
+
+
+def test_profiled_named_with_attrs():
+    @profiled("baseline.mcmc", flavour="anneal")
+    def work():
+        return 7
+
+    tr = Tracer()
+    with activate(tracer=tr):
+        assert work() == 7
+    (rec,) = tr.records
+    assert rec["name"] == "baseline.mcmc"
+    assert rec["attrs"] == {"flavour": "anneal"}
+
+
+def test_profiled_without_activation_is_silent():
+    calls = []
+
+    @profiled("quiet")
+    def work():
+        calls.append(1)
+
+    work()
+    assert calls == [1]  # ran fine, nothing recorded anywhere
+
+
+def test_profiled_nests_under_enclosing_span():
+    @profiled("inner")
+    def work():
+        pass
+
+    tr = Tracer()
+    with activate(tracer=tr):
+        with tr.span("outer"):
+            work()
+    by_name = {r["name"]: r for r in tr.records}
+    assert by_name["inner"]["parent"] == by_name["outer"]["id"]

@@ -1,0 +1,189 @@
+"""Tracer: span nesting, crash-safe JSONL, reconstruction, summary."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import (
+    NULL_TRACER,
+    TRACE_VERSION,
+    NullTracer,
+    Tracer,
+    format_trace_summary,
+    read_trace,
+    span_tree,
+)
+
+
+class FakeClock:
+    """Deterministic monotonic clock: each read advances by ``step``."""
+
+    __name__ = "fake"
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.t = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        self.t += self.step
+        return self.t
+
+
+def test_nesting_parent_ids_and_close_order():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("run") as run:
+        with tr.span("tables"):
+            pass
+        with tr.span("search"):
+            with tr.span("dp"):
+                pass
+    # Close order: children before parents.
+    assert [r["name"] for r in tr.records] == ["tables", "dp", "search", "run"]
+    by_name = {r["name"]: r for r in tr.records}
+    assert by_name["run"]["parent"] is None
+    assert by_name["tables"]["parent"] == by_name["run"]["id"]
+    assert by_name["search"]["parent"] == by_name["run"]["id"]
+    assert by_name["dp"]["parent"] == by_name["search"]["id"]
+    assert run.span_id == by_name["run"]["id"]
+    for rec in tr.records:
+        assert rec["seconds"] == rec["end"] - rec["start"] >= 0
+
+
+def test_attrs_at_open_set_and_name_attribute():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("dp.vertex", name="conv1", cells=4) as sp:
+        sp.set(peak_bytes=128)
+    (rec,) = tr.records
+    # `name` is both the span name (positional-only) and a legal attr.
+    assert rec["name"] == "dp.vertex"
+    assert rec["attrs"] == {"name": "conv1", "cells": 4, "peak_bytes": 128}
+
+
+def test_exception_stamps_error_attr_and_unwinds_stack():
+    tr = Tracer(clock=FakeClock())
+    with pytest.raises(RuntimeError):
+        with tr.span("outer"):
+            with tr.span("inner"):
+                raise RuntimeError("boom")
+    names = {r["name"]: r for r in tr.records}
+    assert names["inner"]["attrs"]["error"] == "RuntimeError"
+    assert names["outer"]["attrs"]["error"] == "RuntimeError"
+    # The stack fully unwound: a new span is again a root.
+    with tr.span("next"):
+        pass
+    assert tr.records[-1]["parent"] is None
+
+
+def test_abandoned_inner_frames_are_dropped():
+    tr = Tracer(clock=FakeClock())
+    outer = tr.span("outer")
+    tr.span("abandoned")  # entered conceptually, never exited
+    outer.__exit__(None, None, None)
+    (rec,) = tr.records
+    assert rec["name"] == "outer"
+    with tr.span("after"):
+        pass
+    assert tr.records[-1]["parent"] is None
+
+
+def test_jsonl_file_meta_line_and_roundtrip(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, clock=FakeClock()) as tr:
+        with tr.span("run", p=8):
+            with tr.span("tables"):
+                pass
+    records = read_trace(path)
+    assert records[0]["kind"] == "meta"
+    assert records[0]["version"] == TRACE_VERSION
+    assert records[0]["clock"] == "fake"
+    spans = [r for r in records if r["kind"] == "span"]
+    assert spans == tr.records
+
+
+def test_every_span_flushed_before_close(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tr = Tracer(path, clock=FakeClock())
+    with tr.span("tables"):
+        pass
+    # No close(): the record must already be durable on disk.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2  # meta + 1 span
+    assert json.loads(lines[1])["name"] == "tables"
+    tr.close()
+
+
+def test_read_trace_drops_torn_tail(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, clock=FakeClock()) as tr:
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"kind": "span", "id": 99, "na')  # crash mid-write
+    records = read_trace(path)
+    assert [r["name"] for r in records if r["kind"] == "span"] == ["a", "b"]
+
+
+def test_read_trace_rejects_malformed_middle_line(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    with Tracer(path, clock=FakeClock()) as tr:
+        with tr.span("a"):
+            pass
+    lines = path.read_text().splitlines()
+    lines.insert(1, "not json at all")
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(ValueError, match="malformed trace line"):
+        read_trace(path)
+
+
+def test_span_tree_reconstruction_and_orphans():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("run"):
+        with tr.span("tables"):
+            pass
+        with tr.span("search"):
+            pass
+    roots = span_tree(tr.records)
+    assert [r["name"] for r in roots] == ["run"]
+    assert [c["name"] for c in roots[0]["children"]] == ["tables", "search"]
+    # A child whose parent record is missing (torn tail) becomes a root.
+    orphaned = [r for r in tr.records if r["name"] != "run"]
+    roots = span_tree(orphaned)
+    assert sorted(r["name"] for r in roots) == ["search", "tables"]
+
+
+def test_format_trace_summary_lists_spans():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("run"):
+        for _ in range(3):
+            with tr.span("dp.vertex"):
+                pass
+    text = format_trace_summary(tr.records)
+    assert "trace summary" in text
+    assert "dp.vertex" in text and "run" in text
+    assert format_trace_summary([]) == "trace: no spans recorded"
+    assert tr.summary() == text
+
+
+def test_null_tracer_is_inert():
+    assert NULL_TRACER.enabled is False
+    assert NULL_TRACER.records == ()
+    sp = NULL_TRACER.span("anything", name="x", weird=object())
+    with sp as inner:
+        assert inner.set(a=1) is inner
+    # Shared singleton span: no allocation per call.
+    assert NULL_TRACER.span("other") is sp
+    assert isinstance(NullTracer(), NullTracer)
+    assert "disabled" in NULL_TRACER.summary()
+
+
+def test_non_scalar_attrs_coerced_to_repr():
+    tr = Tracer(clock=FakeClock())
+    with tr.span("a", obj=[1, 2], flag=True, none=None):
+        pass
+    attrs = tr.records[0]["attrs"]
+    assert attrs == {"obj": "[1, 2]", "flag": True, "none": None}
+    json.dumps(tr.records[0])  # record stays JSON-serializable

@@ -1,0 +1,83 @@
+"""The `repro.api` facade: Problem / search / simulate / re-exports."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro.api import Problem, RunContext, RunOutcome, search, simulate
+from repro.core.machine import RTX2080TI
+
+
+@pytest.fixture(scope="module")
+def alexnet8() -> Problem:
+    return Problem.from_benchmark("alexnet", p=8)
+
+
+def test_from_benchmark_binds_instance(alexnet8):
+    assert alexnet8.p == 8
+    assert alexnet8.space.p == 8
+    assert alexnet8.machine.name == "1080Ti"
+    assert len(list(alexnet8.graph)) > 0
+
+
+def test_from_benchmark_unknown_name():
+    with pytest.raises(ValueError, match="unknown benchmark"):
+        Problem.from_benchmark("resnet9000", p=8)
+
+
+def test_from_benchmark_machine_and_mode():
+    prob = Problem.from_benchmark("alexnet", p=4, machine=RTX2080TI,
+                                  mode="divisors")
+    assert prob.machine is RTX2080TI
+    assert prob.space.mode == "divisors"
+
+
+def test_from_graph(chain3):
+    prob = Problem.from_graph(chain3, p=4)
+    assert prob.p == 4
+    assert prob.cost_model().machine is prob.machine
+
+
+def test_search_matches_direct_pipeline(alexnet8):
+    from repro.runtime import execute_search
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        via_api = search(alexnet8)
+        direct = execute_search(alexnet8.graph, alexnet8.space,
+                                alexnet8.machine)
+    assert isinstance(via_api, RunOutcome)
+    assert via_api.result.cost == direct.result.cost
+    assert via_api.result.strategy.assignment == \
+        direct.result.strategy.assignment
+
+
+def test_search_accepts_ctx(alexnet8):
+    from repro.obs import Metrics, Tracer
+
+    tr, mx = Tracer(), Metrics()
+    out = search(alexnet8, ctx=RunContext(tracer=tr, metrics=mx))
+    assert {r["name"] for r in tr.records} >= {"run", "tables", "search"}
+    assert mx.counter("dp_cells_total").snapshot() > 0
+    assert out.result.cost > 0
+
+
+def test_simulate_accepts_result_or_strategy(alexnet8):
+    out = search(alexnet8, method="data_parallel")
+    rep_from_result = simulate(alexnet8, out.result)
+    rep_from_strategy = simulate(alexnet8, out.result.strategy)
+    assert rep_from_result.step_time == rep_from_strategy.step_time
+    assert rep_from_result.throughput > 0
+
+
+def test_top_level_reexports():
+    assert repro.Problem is Problem
+    assert repro.RunContext is RunContext
+    assert repro.search is search
+    assert repro.simulate is simulate
+    assert repro.api.Problem is Problem
+    for name in ("Problem", "RunContext", "api", "obs", "search", "simulate"):
+        assert name in repro.__all__
