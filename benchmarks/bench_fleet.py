@@ -1,0 +1,82 @@
+"""Fleet sweep throughput: searches per minute at fleet width.
+
+Drains a grid of journalled alexnet searches through the
+`FleetSupervisor` at one and at ``FLEET_WORKERS`` workers and records
+searches/minute, scaling efficiency, and per-task seconds in
+``BENCH_fleet.json`` (override the path with ``PASE_BENCH_OUT``).
+Correctness is asserted — every task must succeed and the two widths
+must merge byte-identical results — while the throughput numbers are
+recorded rather than hard-asserted: wall-clock flakes on loaded CI
+machines, determinism never may.
+
+Needs no pytest-benchmark plugin, so CI can smoke it with the base test
+toolchain:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_fleet.py
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.fleet import FleetSupervisor, SweepSpec
+from _config import FULL
+
+#: Fleet width for the parallel measurement (the ISSUE floor is 4).
+FLEET_WORKERS = 8 if FULL else 4
+
+#: Grid size: models x ps x seeds.
+N_SEEDS = 16 if FULL else 6
+
+_RESULTS: dict[str, dict[str, float]] = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    yield
+    if _RESULTS:
+        out = os.environ.get("PASE_BENCH_OUT", "BENCH_fleet.json")
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(_RESULTS, fh, indent=2, sort_keys=True)
+        print(f"\n# fleet sweep throughput written to {out}")
+
+
+def _sweep(fleet_dir, workers):
+    spec = SweepSpec.from_dict({
+        "models": ["alexnet"],
+        "ps": [2, 4, 8],
+        "methods": ["ours"],
+        "seeds": list(range(N_SEEDS)),
+    })
+    report = FleetSupervisor(
+        spec, fleet_dir, workers=workers,
+        backoff_base=0.01).run()
+    assert report.clean, "benchmark sweep must not degrade"
+    return report
+
+
+def test_fleet_throughput(tmp_path):
+    serial = _sweep(tmp_path / "w1", workers=1)
+    fleet = _sweep(tmp_path / "wN", workers=FLEET_WORKERS)
+
+    # Different widths, same answers, byte for byte.
+    assert (tmp_path / "w1" / "results.jsonl").read_bytes() == \
+        (tmp_path / "wN" / "results.jsonl").read_bytes()
+
+    for label, rep in (("workers_1", serial),
+                       (f"workers_{FLEET_WORKERS}", fleet)):
+        _RESULTS[label] = {
+            "tasks": rep.tasks_total,
+            "workers": rep.workers,
+            "wall_seconds": round(rep.wall_seconds, 4),
+            "searches_per_minute": round(rep.searches_per_minute, 2),
+            "seconds_per_task": round(
+                rep.wall_seconds / max(rep.tasks_total, 1), 5),
+        }
+    _RESULTS["scaling"] = {
+        "width": FLEET_WORKERS,
+        "speedup": round(
+            fleet.searches_per_minute /
+            max(serial.searches_per_minute, 1e-9), 3),
+    }

@@ -1,18 +1,23 @@
 #!/usr/bin/env python
-"""Validate the observability artifacts of a ``pase search`` run.
+"""Validate the observability artifacts of a ``pase search``/``sweep``.
 
 Usage::
 
     PYTHONPATH=src python scripts/check_obs_schema.py TRACE.jsonl METRICS
+    PYTHONPATH=src python scripts/check_obs_schema.py TRACE.jsonl METRICS \\
+        SUMMARY.json MANIFEST.json
 
 Checks the trace file against the JSONL span schema (meta header,
-well-formed span records, a single ``run`` root whose tree covers the
-pipeline phases) and the metrics export against its format — Prometheus
-text exposition for ``.prom``/``.txt``, the JSON layout otherwise.  CI
-runs this after the smoke search so a schema regression fails the build
-rather than silently breaking downstream dashboards.
+well-formed span records, a single root whose tree covers the pipeline
+phases — ``run`` for a search trace, ``fleet`` for a sweep trace) and
+the metrics export against its format — Prometheus text exposition for
+``.prom``/``.txt``, the JSON layout otherwise.  With the optional third
+and fourth arguments it also validates a fleet's ``summary.json`` and
+``manifest.json`` artifacts.  CI runs this after the smoke search and
+the fleet chaos smoke so a schema regression fails the build rather
+than silently breaking downstream dashboards.
 
-Exit code 0 when both artifacts validate, 1 with a message otherwise.
+Exit code 0 when every artifact validates, 1 with a message otherwise.
 """
 
 from __future__ import annotations
@@ -28,11 +33,25 @@ _PROM_SAMPLE = re.compile(
 _PROM_COMMENT = re.compile(
     r"^# (HELP|TYPE) pase_[a-z0-9_]+( .*)?$")
 
-#: Span names the CLI smoke run must have produced.
+#: Span names the CLI smoke run must have produced, per trace flavour.
 REQUIRED_SPANS = {"run", "tables", "search"}
+REQUIRED_FLEET_SPANS = {"fleet", "fleet.task"}
+
+#: Task states a fleet manifest may record.
+MANIFEST_TASK_STATES = {"pending", "running", "done", "quarantined"}
+
+#: Fields every fleet summary.json must carry.
+SUMMARY_REQUIRED = {
+    "version", "fingerprint", "generated_at", "tasks_total", "succeeded",
+    "quarantined", "retries", "stragglers_killed", "worker_crashes",
+    "adopted", "completed_this_run", "wall_seconds",
+    "searches_per_minute", "workers", "resumed", "quarantined_tasks",
+    "results",
+}
 
 
-def check_trace(path: str) -> list[str]:
+def check_trace(path: str, *, root: str = "run",
+                required: set[str] = REQUIRED_SPANS) -> list[str]:
     errors: list[str] = []
     try:
         records = read_trace(path)
@@ -54,12 +73,12 @@ def check_trace(path: str) -> list[str]:
         if rec.get("end", 0) < rec.get("start", 0) or rec.get("seconds", 0) < 0:
             errors.append(f"trace: span {rec.get('name')!r} runs backwards")
     names = {r["name"] for r in spans if "name" in r}
-    missing = REQUIRED_SPANS - names
+    missing = required - names
     if missing:
         errors.append(f"trace: missing required spans {sorted(missing)}")
     roots = span_tree(spans)
-    if [r["name"] for r in roots] != ["run"]:
-        errors.append(f"trace: expected a single 'run' root, got "
+    if [r["name"] for r in roots] != [root]:
+        errors.append(f"trace: expected a single {root!r} root, got "
                       f"{[r['name'] for r in roots]}")
     return errors
 
@@ -120,16 +139,85 @@ def _check_metrics_json(text: str) -> list[str]:
     return errors
 
 
+def _load_json(path: str, label: str) -> tuple[dict | None, list[str]]:
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as err:
+        return None, [f"{label}: unreadable: {err}"]
+    if not isinstance(doc, dict):
+        return None, [f"{label}: expected a JSON object"]
+    return doc, []
+
+
+def check_summary(path: str) -> list[str]:
+    doc, errors = _load_json(path, "summary")
+    if doc is None:
+        return errors
+    missing = SUMMARY_REQUIRED - set(doc)
+    if missing:
+        errors.append(f"summary: missing field(s) {sorted(missing)}")
+        return errors
+    for field in ("tasks_total", "succeeded", "quarantined", "retries",
+                  "stragglers_killed", "worker_crashes", "adopted",
+                  "completed_this_run", "workers"):
+        if not isinstance(doc[field], int) or doc[field] < 0:
+            errors.append(f"summary: {field} must be a non-negative int, "
+                          f"got {doc[field]!r}")
+    if doc["succeeded"] + doc["quarantined"] > doc["tasks_total"]:
+        errors.append("summary: succeeded + quarantined exceeds tasks_total")
+    if len(doc["quarantined_tasks"]) != doc["quarantined"]:
+        errors.append("summary: quarantined_tasks length != quarantined")
+    for i, q in enumerate(doc["quarantined_tasks"]):
+        if not isinstance(q, dict) or \
+                {"task_id", "label", "attempts"} - set(q):
+            errors.append(f"summary: quarantined_tasks[{i}] missing "
+                          "task_id/label/attempts")
+    return errors
+
+
+def check_manifest(path: str) -> list[str]:
+    doc, errors = _load_json(path, "manifest")
+    if doc is None:
+        return errors
+    missing = {"version", "fingerprint", "tasks", "counters"} - set(doc)
+    if missing:
+        errors.append(f"manifest: missing field(s) {sorted(missing)}")
+        return errors
+    if not isinstance(doc["tasks"], dict) or not doc["tasks"]:
+        errors.append("manifest: tasks must be a non-empty object")
+        return errors
+    for tid, rec in doc["tasks"].items():
+        if not isinstance(rec, dict) or "state" not in rec or \
+                "attempts" not in rec:
+            errors.append(f"manifest: task {tid!r} missing state/attempts")
+        elif rec["state"] not in MANIFEST_TASK_STATES:
+            errors.append(f"manifest: task {tid!r} has unknown state "
+                          f"{rec['state']!r}")
+    for counter in ("retries", "stragglers_killed", "worker_crashes",
+                    "resumes"):
+        if not isinstance(doc["counters"].get(counter), int):
+            errors.append(f"manifest: counters.{counter} must be an int")
+    return errors
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) != 2:
+    if len(argv) not in (2, 4):
         print(__doc__, file=sys.stderr)
         return 1
-    trace_path, metrics_path = argv
-    errors = check_trace(trace_path) + check_metrics(metrics_path)
+    trace_path, metrics_path = argv[:2]
+    if len(argv) == 4:
+        errors = check_trace(trace_path, root="fleet",
+                             required=REQUIRED_FLEET_SPANS)
+        errors += check_metrics(metrics_path)
+        errors += check_summary(argv[2])
+        errors += check_manifest(argv[3])
+    else:
+        errors = check_trace(trace_path) + check_metrics(metrics_path)
     for err in errors:
         print(f"check_obs_schema: {err}", file=sys.stderr)
     if not errors:
-        print(f"check_obs_schema: OK ({trace_path}, {metrics_path})")
+        print(f"check_obs_schema: OK ({', '.join(argv)})")
     return 1 if errors else 0
 
 

@@ -19,14 +19,12 @@ from typing import Sequence
 
 from .analysis import section_3c_report
 from .cluster import simulate_step
-from .core.machine import GTX1080TI, RTX2080TI, MachineSpec
+from .core.machine import MACHINES as _MACHINES
 from .experiments import figure6, table1, table2
 from .experiments.common import METHODS, build_setup, search_with
 from .models import BENCHMARKS
 
 __all__ = ["main"]
-
-_MACHINES: dict[str, MachineSpec] = {"1080ti": GTX1080TI, "2080ti": RTX2080TI}
 
 
 def _add_common(sub: argparse.ArgumentParser) -> None:
@@ -140,6 +138,52 @@ def _cmd_search(args: argparse.Namespace) -> int:
 
         print(format_trace_summary(tracer.records))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .fleet import (FleetSupervisor, SweepSpec, SweepSpecError,
+                        format_fleet_report)
+    from .runtime import (Cancellation, EXIT_QUARANTINED, RunBudget,
+                          RunContext, trap_signals)
+
+    try:
+        spec = SweepSpec.from_file(args.spec)
+        n_tasks = len(spec.expand())
+    except SweepSpecError as err:
+        print(f"pase: bad sweep spec: {err}", file=sys.stderr)
+        return 2
+    tracer = None
+    if args.trace is not None:
+        from .obs import Tracer
+
+        tracer = Tracer(args.trace)
+    metrics = None
+    if args.metrics is not None:
+        from .obs import Metrics
+
+        metrics = Metrics()
+    ctx = RunContext(budget=RunBudget(deadline=args.deadline),
+                     cancellation=Cancellation(),
+                     tracer=tracer, metrics=metrics)
+    supervisor = FleetSupervisor(
+        spec, args.fleet_dir, workers=args.workers,
+        max_attempts=args.max_retries + 1,
+        task_deadline=args.task_deadline,
+        straggler_after=args.straggler_after, ctx=ctx)
+    print(f"# sweep: {n_tasks} tasks from {args.spec} -> {args.fleet_dir} "
+          f"({args.workers} workers)")
+    try:
+        with trap_signals(ctx.cancellation):
+            report = supervisor.run(resume=args.resume)
+    finally:
+        if metrics is not None:
+            metrics.dump(args.metrics)
+    print(format_fleet_report(report))
+    if args.metrics is not None:
+        print(f"# metrics written to {args.metrics}")
+    if args.trace is not None:
+        print(f"# trace written to {args.trace}")
+    return EXIT_QUARANTINED if report.quarantined else 0
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
@@ -285,6 +329,8 @@ def main(argv: Sequence[str] | None = None) -> int:
             "  5  wall-clock deadline exceeded (--deadline)\n"
             "  6  interrupted by SIGINT/SIGTERM with the journal flushed\n"
             "     (resume with `search --journal-dir DIR --resume`)\n"
+            "  7  fleet sweep drained, but some tasks were quarantined\n"
+            "     after exhausting their retries (`sweep`)\n"
         ))
     subs = parser.add_subparsers(dest="command", required=True)
 
@@ -323,6 +369,44 @@ def main(argv: Sequence[str] | None = None) -> int:
                           help="print a per-phase timing summary of the "
                           "run's trace")
     p_search.set_defaults(fn=_cmd_search)
+
+    p_sweep = subs.add_parser(
+        "sweep", help="drain a declarative sweep spec through a "
+        "fault-tolerant fleet of search workers")
+    p_sweep.add_argument("--spec", required=True, metavar="SPEC.json",
+                         help="sweep spec: models x machines x p x "
+                         "fault-plans x flags (see DESIGN.md §10)")
+    p_sweep.add_argument("--fleet-dir", required=True, metavar="DIR",
+                         help="fleet state root: crash-safe manifest, "
+                         "per-task journals, shared table cache, merged "
+                         "results.jsonl + summary.json")
+    p_sweep.add_argument("--workers", type=int, default=4, metavar="N",
+                         help="concurrent worker processes (default 4)")
+    p_sweep.add_argument("--resume", action="store_true",
+                         help="resume an interrupted sweep from "
+                         "--fleet-dir: completed tasks are replayed, "
+                         "in-flight ones re-queued (fingerprint-checked)")
+    p_sweep.add_argument("--task-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="per-task wall-clock budget enforced inside "
+                         "each worker")
+    p_sweep.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="fleet-wide wall-clock budget; exceeding it "
+                         "exits with code 5 (resume later with --resume)")
+    p_sweep.add_argument("--max-retries", type=int, default=2, metavar="N",
+                         help="retries per task before quarantine "
+                         "(default 2; exponential backoff with jitter)")
+    p_sweep.add_argument("--straggler-after", type=float, default=60.0,
+                         metavar="SECONDS",
+                         help="SIGKILL + reassign a worker whose heartbeat "
+                         "is older than this (default 60)")
+    p_sweep.add_argument("--trace", metavar="FILE", default=None,
+                         help="write fleet-level nested-span trace JSONL")
+    p_sweep.add_argument("--metrics", metavar="FILE", default=None,
+                         help="export fleet metrics to FILE (.prom/.txt "
+                         "= Prometheus text, anything else JSON)")
+    p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
     _add_common(p_sim)

@@ -58,7 +58,31 @@ PARALLEL_THRESHOLD_CELLS = 200_000
 PARALLEL_BUILD_RETRIES = 1
 PARALLEL_RETRY_BACKOFF_SECONDS = 0.25
 
+#: Longest uninterrupted slice of a retry-backoff sleep; the run's
+#: checkpoint (deadline / cancellation) is polled between slices.
+BACKOFF_POLL_SECONDS = 0.05
+
 _log = logging.getLogger(__name__)
+
+
+def _interruptible_sleep(seconds: float,
+                         checkpoint: Callable[..., None] | None) -> None:
+    """Sleep in short slices, polling the run checkpoint between them.
+
+    A retry backoff must not outlive the run: a SIGINT or a blown
+    deadline during the sleep surfaces at the next poll (within
+    `BACKOFF_POLL_SECONDS`) instead of after the full backoff.
+    """
+    if checkpoint is None:
+        time.sleep(seconds)
+        return
+    deadline = time.perf_counter() + seconds
+    while True:
+        checkpoint(phase="tables")
+        remaining = deadline - time.perf_counter()
+        if remaining <= 0:
+            return
+        time.sleep(min(BACKOFF_POLL_SECONDS, remaining))
 
 # Per-worker state installed by the pool initializer (inherited cheaply on
 # fork, re-pickled once per worker on spawn) so tasks only ship indices.
@@ -453,7 +477,8 @@ class CostModel:
             if checkpoint is not None:
                 checkpoint(phase="tables")
             if attempt:
-                time.sleep(PARALLEL_RETRY_BACKOFF_SECONDS * attempt)
+                _interruptible_sleep(
+                    PARALLEL_RETRY_BACKOFF_SECONDS * attempt, checkpoint)
             try:
                 lc, edge_mats = self._build_arrays_parallel(
                     graph, space, workers)

@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 __all__ = ["MachineSpec", "GTX1080TI", "RTX2080TI", "UNIT_BALANCE",
-           "from_heterogeneous"]
+           "MACHINES", "from_heterogeneous"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -98,6 +98,13 @@ RTX2080TI = MachineSpec(
     devices_per_node=8,
     p2p=False,
 )
+
+#: CLI/spec name -> machine registry (the names `pase --machine` and
+#: sweep specs accept).
+MACHINES: dict[str, MachineSpec] = {
+    "1080ti": GTX1080TI,
+    "2080ti": RTX2080TI,
+}
 
 #: A balance-1 machine (r == 1): layer costs and transfer volumes weigh
 #: equally.  Handy for unit tests where hand-computed costs are checked.

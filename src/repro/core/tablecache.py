@@ -30,6 +30,15 @@ by the size cap.
 cache is bounded by ``max_bytes``; storing past the cap evicts the
 least-recently-used entries (by file mtime — hits re-touch their entry).
 
+**Concurrency.**  Entry writes are already atomic, but eviction (and
+quarantine, and ``clear``) delete files, and a fleet sweep points many
+worker processes at one shared cache directory.  Every mutating sweep
+over the directory therefore runs under an exclusive ``flock`` on
+``<root>/.lock`` — held only for the scan/delete, never while a table is
+being serialized — and treats an entry vanishing mid-scan as already
+evicted, not an error.  The lock is released by the kernel if its holder
+dies, so a SIGKILLed worker can never wedge the cache.
+
 **Corruption.**  The manifest carries a sha256 over every stored array's
 raw bytes (`payload_checksum`), verified on load.  An entry that fails
 to parse, fails its checksum, or does not match the live configuration
@@ -45,6 +54,7 @@ space and poison later lookups.
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import logging
@@ -53,6 +63,11 @@ import tempfile
 import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -187,7 +202,34 @@ class TableCache:
         return iter(sorted(self.root.glob("*.npz")))
 
     def total_bytes(self) -> int:
-        return sum(p.stat().st_size for p in self.entries())
+        total = 0
+        for p in self.entries():
+            try:
+                total += p.stat().st_size
+            except OSError:  # deleted by a concurrent evictor
+                continue
+        return total
+
+    # -- cross-process exclusion ---------------------------------------------
+
+    @contextlib.contextmanager
+    def _lock(self):
+        """Exclusive ``flock`` on ``<root>/.lock`` for directory mutation.
+
+        Blocks until acquired; auto-released when the fd closes *or* the
+        holding process dies, so no crash can leave the cache locked.
+        No-op where ``fcntl`` is unavailable (single-process platforms).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.root / ".lock", os.O_CREAT | os.O_RDWR, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX)
+            yield
+        finally:
+            os.close(fd)
 
     # -- store / load --------------------------------------------------------
 
@@ -283,8 +325,9 @@ class TableCache:
         _log.warning("quarantining corrupt table-cache entry %s (%s)",
                      path.name, reason)
         try:
-            self.corrupt_dir.mkdir(parents=True, exist_ok=True)
-            os.replace(path, self.corrupt_dir / path.name)
+            with self._lock():
+                self.corrupt_dir.mkdir(parents=True, exist_ok=True)
+                os.replace(path, self.corrupt_dir / path.name)
         except OSError:
             path.unlink(missing_ok=True)
 
@@ -294,9 +337,20 @@ class TableCache:
         """Delete least-recently-used entries until under ``max_bytes``.
 
         ``keep`` (typically the entry just written) is evicted only after
-        every other entry is gone.
+        every other entry is gone.  The whole scan-and-delete runs under
+        the cache lock so concurrent writers never double-evict or trip
+        over each other's deletions.
         """
-        entries = [(p, p.stat()) for p in self.entries()]
+        with self._lock():
+            return self._evict_locked(keep)
+
+    def _evict_locked(self, keep: Path | None) -> list[Path]:
+        entries = []
+        for p in self.entries():
+            try:
+                entries.append((p, p.stat()))
+            except OSError:  # vanished between glob and stat
+                continue
         total = sum(st.st_size for _, st in entries)
         if total <= self.max_bytes:
             return []
@@ -312,11 +366,12 @@ class TableCache:
 
     def clear(self) -> int:
         """Delete every entry; returns the number removed."""
-        n = 0
-        for p in self.entries():
-            p.unlink(missing_ok=True)
-            n += 1
-        return n
+        with self._lock():
+            n = 0
+            for p in self.entries():
+                p.unlink(missing_ok=True)
+                n += 1
+            return n
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<TableCache {self.root} cap={self.max_bytes}>"

@@ -1,0 +1,220 @@
+"""Crash-safe fleet manifest: the supervisor's on-disk brain.
+
+The `FleetManifest` is to a sweep what `SearchJournal` is to one search:
+a single JSON snapshot (``manifest.json`` under the fleet directory)
+written atomically via temp + ``os.replace``, so a supervisor killed at
+any instant — including ``kill -9`` — leaves either the old snapshot or
+the new one, never a torn file.
+
+It records the spec fingerprint (resume against an edited spec fails
+loudly), one state machine per task, and fleet-level counters.  Task
+states::
+
+    pending ──dispatch──> running ──ok──────────> done
+        ^                    │
+        │                    ├─crash/error/straggler─(attempts < max)─┐
+        └────────────────────┴<───────────────────────────────────────┘
+                             └─(attempts >= max)──> quarantined
+
+On resume, ``running`` tasks are demoted back to ``pending`` (the
+process that owned them died with the fleet); ``done`` and
+``quarantined`` states survive verbatim, which is what makes a resumed
+sweep's merged results bit-identical to an uninterrupted run — finished
+work is *replayed from the manifest and per-task result files*, never
+recomputed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any
+
+from ..core.exceptions import JournalError
+
+__all__ = ["FleetManifest", "MANIFEST_VERSION", "TASK_STATES"]
+
+#: Manifest layout version; bump whenever the stored schema changes.
+MANIFEST_VERSION = 1
+
+#: Every state a task slot can hold.
+TASK_STATES = ("pending", "running", "done", "quarantined")
+
+#: Minimum seconds between periodic snapshot writes (state transitions
+#: always flush immediately; this only throttles heartbeat-ish updates).
+FLUSH_INTERVAL_SECONDS = 0.5
+
+
+class FleetManifest:
+    """One sweep's crash-safe state under ``<fleet_dir>/manifest.json``."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.path = self.root / "manifest.json"
+        self.state: dict[str, Any] | None = None
+        self._last_flush = 0.0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def open(self, fingerprint: str, task_ids: list[str], *,
+             resume: bool = False) -> bool:
+        """Start (or resume) a fleet; returns True when resuming.
+
+        A fresh open overwrites any existing manifest.  ``resume=True``
+        requires an existing manifest whose spec fingerprint and task
+        set match; any ``running`` tasks are demoted to ``pending``
+        (their worker died with the previous supervisor).
+        """
+        if resume:
+            state = self._read()
+            if state["fingerprint"] != fingerprint:
+                raise JournalError(
+                    f"fleet manifest at {self.path} was written for a "
+                    "different sweep spec (fingerprint mismatch); re-run "
+                    "without --resume to start fresh")
+            if set(state["tasks"]) != set(task_ids):
+                raise JournalError(
+                    f"fleet manifest at {self.path} tracks a different "
+                    "task set; re-run without --resume to start fresh")
+            reassigned = 0
+            for rec in state["tasks"].values():
+                if rec["state"] == "running":
+                    rec["state"] = "pending"
+                    reassigned += 1
+            state["counters"]["resumes"] = \
+                state["counters"].get("resumes", 0) + 1
+            state["counters"]["reassigned_on_resume"] = \
+                state["counters"].get("reassigned_on_resume", 0) + reassigned
+            self.state = state
+            self.flush()
+            return True
+        self.state = {
+            "version": MANIFEST_VERSION,
+            "fingerprint": fingerprint,
+            "tasks": {tid: {"state": "pending", "attempts": 0}
+                      for tid in task_ids},
+            "counters": {"retries": 0, "stragglers_killed": 0,
+                         "worker_crashes": 0, "resumes": 0,
+                         "reassigned_on_resume": 0},
+        }
+        self.flush()
+        return False
+
+    def _read(self) -> dict[str, Any]:
+        try:
+            with open(self.path, encoding="utf-8") as fh:
+                state = json.load(fh)
+        except FileNotFoundError:
+            raise JournalError(
+                f"no fleet manifest to resume at {self.path}") from None
+        except (OSError, json.JSONDecodeError) as err:
+            raise JournalError(
+                f"fleet manifest at {self.path} is unreadable: {err}") \
+                from err
+        if not isinstance(state, dict) or \
+                state.get("version") != MANIFEST_VERSION:
+            raise JournalError(
+                f"fleet manifest at {self.path} has unsupported version "
+                f"{state.get('version') if isinstance(state, dict) else '?'}")
+        return state
+
+    def flush(self, *, force: bool = True) -> None:
+        """Atomically persist the snapshot (temp + ``os.replace``).
+
+        ``force=False`` throttles to `FLUSH_INTERVAL_SECONDS` — used for
+        the supervisor's periodic loop writes; every state transition
+        flushes with ``force=True`` so crashes never lose a transition.
+        """
+        if self.state is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_flush < FLUSH_INTERVAL_SECONDS:
+            return
+        self._last_flush = now
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(self.state, fh, indent=2, sort_keys=True)
+            os.replace(tmp, self.path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    # -- task state machine --------------------------------------------------
+
+    def task(self, task_id: str) -> dict[str, Any]:
+        assert self.state is not None, "manifest not opened"
+        return self.state["tasks"][task_id]
+
+    def task_state(self, task_id: str) -> str:
+        return str(self.task(task_id)["state"])
+
+    def mark_running(self, task_id: str, *, pid: int) -> None:
+        rec = self.task(task_id)
+        rec["state"] = "running"
+        rec["attempts"] = int(rec["attempts"]) + 1
+        rec["pid"] = pid
+        self.flush()
+
+    def mark_done(self, task_id: str, *, seconds: float) -> None:
+        rec = self.task(task_id)
+        rec["state"] = "done"
+        rec["seconds"] = float(seconds)
+        rec.pop("pid", None)
+        self.flush()
+
+    def mark_failed(self, task_id: str, *, detail: str, kind: str,
+                    max_attempts: int) -> str:
+        """Record one failed attempt; returns the resulting state.
+
+        ``kind`` labels the failure ("crash", "error", "straggler",
+        "deadline") for the report.  The task goes back to ``pending``
+        until it has burned ``max_attempts`` attempts, then is
+        quarantined — recorded, skipped, never fatal to the fleet.
+        """
+        assert self.state is not None
+        rec = self.task(task_id)
+        rec.pop("pid", None)
+        rec["last_error"] = {"kind": kind, "detail": detail[:500]}
+        counters = self.state["counters"]
+        if kind == "crash":
+            counters["worker_crashes"] += 1
+        elif kind == "straggler":
+            counters["stragglers_killed"] += 1
+        if int(rec["attempts"]) >= max_attempts:
+            rec["state"] = "quarantined"
+        else:
+            rec["state"] = "pending"
+            counters["retries"] += 1
+        self.flush()
+        return str(rec["state"])
+
+    # -- queries -------------------------------------------------------------
+
+    def in_state(self, *states: str) -> list[str]:
+        """Task ids currently in any of ``states`` (manifest order)."""
+        assert self.state is not None, "manifest not opened"
+        return [tid for tid, rec in self.state["tasks"].items()
+                if rec["state"] in states]
+
+    def counts(self) -> dict[str, int]:
+        """State -> task count, plus the fleet counters."""
+        assert self.state is not None, "manifest not opened"
+        out = {s: 0 for s in TASK_STATES}
+        for rec in self.state["tasks"].values():
+            out[rec["state"]] += 1
+        out.update({k: int(v) for k, v in self.state["counters"].items()})
+        return out
+
+    @property
+    def counters(self) -> dict[str, int]:
+        assert self.state is not None, "manifest not opened"
+        return self.state["counters"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FleetManifest {self.path}>"

@@ -1,0 +1,417 @@
+"""The fleet supervisor: drain a sweep through self-healing workers.
+
+`FleetSupervisor.run` takes a `SweepSpec` and a fleet directory and
+drives every task to ``done`` or ``quarantined`` through a pool of
+single-task worker processes (`repro.fleet.worker`), surviving every
+failure mode the chaos suite can produce:
+
+* **worker crash** (``os._exit``, OOM kill, segfault): the exit code
+  and missing result file mark a failed attempt; the task retries with
+  exponential backoff and deterministic jitter;
+* **poison task** (fails every attempt): after ``max_attempts`` total
+  attempts it is *quarantined* — recorded with its last error in the
+  manifest and summary, skipped by the merge, never fatal to the fleet;
+* **straggler / wedged worker**: a heartbeat older than
+  ``straggler_after`` gets the process SIGKILLed and the task
+  reassigned (counted, attempt burned);
+* **supervisor death**: every state transition is flushed atomically to
+  the `FleetManifest`, so ``kill -9`` mid-sweep loses at most the
+  in-flight attempts; ``--resume`` demotes them to pending, *adopts*
+  any finished results orphan workers left behind, and replays
+  completed tasks from their result files without recomputing — the
+  merged ``results.jsonl`` is byte-identical to an uninterrupted run;
+* **SIGINT/SIGTERM**: the first signal flips the context's
+  `Cancellation` token (pair with `trap_signals`); the supervisor stops
+  dispatching, terminates children (TERM, then KILL after a grace
+  period), flushes the manifest, and raises `RunInterrupted` so the CLI
+  exits with the documented code 6.
+
+Fleet-level observability flows through the run's `RunContext`: a
+``fleet`` root span with one ``fleet.task`` span per terminal task
+state, plus ``fleet_*`` counters and a ``fleet_searches_per_minute``
+gauge.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import random
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+from ..obs.profile import metrics_of, tracer_of
+from ..runtime.budget import Cancellation, RunBudget
+from ..runtime.context import RunContext
+from .manifest import FleetManifest
+from .report import FleetReport, format_fleet_report, merge_results, \
+    write_summary
+from .spec import SweepSpec, SweepTask
+from .worker import read_json, task_dir, worker_main
+
+__all__ = ["FleetSupervisor", "run_sweep",
+           "DEFAULT_MAX_ATTEMPTS", "DEFAULT_STRAGGLER_AFTER_SECONDS"]
+
+#: Total attempts a task gets before quarantine (first run + retries).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Heartbeat age (seconds) past which a worker is declared a straggler.
+DEFAULT_STRAGGLER_AFTER_SECONDS = 60.0
+
+#: Exponential-backoff base/cap for task retries (seconds).
+BACKOFF_BASE_SECONDS = 0.5
+BACKOFF_CAP_SECONDS = 30.0
+
+#: Supervisor loop poll period (seconds).
+POLL_INTERVAL_SECONDS = 0.05
+
+#: Grace period between SIGTERM and SIGKILL during shutdown.
+SHUTDOWN_GRACE_SECONDS = 2.0
+
+
+def _backoff(task_id: str, attempts: int, base: float, cap: float) -> float:
+    """Exponential backoff with deterministic per-(task, attempt) jitter.
+
+    Jitter decorrelates a thundering herd of simultaneous failures
+    (e.g. every worker dying when a shared filesystem hiccups) without
+    making test runs flaky — the same task/attempt always backs off the
+    same amount.
+    """
+    delay = min(cap, base * (2.0 ** max(attempts - 1, 0)))
+    jitter = random.Random(f"{task_id}:{attempts}").uniform(0.0, 0.5)
+    return delay * (1.0 + jitter)
+
+
+@dataclass
+class _InFlight:
+    """One running worker process as the supervisor tracks it."""
+
+    task: SweepTask
+    process: multiprocessing.Process
+    started: float                 # time.monotonic() at spawn
+    straggler_killed: bool = False
+
+
+class FleetSupervisor:
+    """Drains one `SweepSpec` through crash-isolated worker processes.
+
+    Parameters
+    ----------
+    spec:
+        The sweep to run (see `repro.fleet.spec`).
+    fleet_dir:
+        Root for all fleet state: ``manifest.json``, per-task
+        directories, the shared table cache, merged results, summary.
+    workers:
+        Maximum concurrently running worker processes.
+    max_attempts:
+        Total attempts (first run + retries) before quarantine.
+    task_deadline:
+        Per-task wall-clock budget (seconds) enforced *inside* the
+        worker via `RunBudget`; ``None`` leaves tasks unbounded (the
+        straggler reaper still applies).
+    straggler_after:
+        Heartbeat age (seconds) past which the worker is SIGKILLed and
+        the task reassigned.
+    ctx:
+        Fleet-level `RunContext`: cancellation token (pair with
+        `trap_signals`), optional fleet-wide deadline, tracer/metrics.
+        Per-task budgets are separate and built by the workers.
+    """
+
+    def __init__(self, spec: SweepSpec, fleet_dir: str | Path, *,
+                 workers: int = 4,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 task_deadline: float | None = None,
+                 straggler_after: float = DEFAULT_STRAGGLER_AFTER_SECONDS,
+                 backoff_base: float = BACKOFF_BASE_SECONDS,
+                 backoff_cap: float = BACKOFF_CAP_SECONDS,
+                 ctx: RunContext | None = None) -> None:
+        if workers < 1:
+            raise ValueError(f"workers={workers} must be >= 1")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts={max_attempts} must be >= 1")
+        if straggler_after <= 0:
+            raise ValueError(
+                f"straggler_after={straggler_after} must be positive")
+        self.spec = spec
+        self.fleet_dir = Path(fleet_dir)
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.task_deadline = task_deadline
+        self.straggler_after = straggler_after
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        if ctx is None:
+            ctx = RunContext()
+        if ctx.budget is None or ctx.cancellation is None:
+            ctx = ctx.with_overrides(
+                budget=ctx.budget or RunBudget(),
+                cancellation=ctx.cancellation or Cancellation())
+        self.ctx = ctx
+        self.manifest = FleetManifest(self.fleet_dir)
+        self._mp = multiprocessing.get_context()
+
+    # -- public entry point --------------------------------------------------
+
+    def run(self, *, resume: bool = False) -> FleetReport:
+        """Drain the sweep; returns the `FleetReport`.
+
+        Raises `RunInterrupted` on SIGINT/SIGTERM (manifest flushed,
+        children reaped — rerun with ``resume=True`` to continue) and
+        `DeadlineExceededError` when the fleet-level budget expires.
+        """
+        self.ctx.started()
+        tracer = tracer_of(self.ctx)
+        metrics = metrics_of(self.ctx)
+        tasks = self.spec.expand()
+        by_id = {t.task_id: t for t in tasks}
+        t0 = time.monotonic()
+        with self.ctx.observe(), tracer.span(
+                "fleet", tasks=len(tasks), workers=self.workers,
+                resume=resume) as fleet_span:
+            resumed = self.manifest.open(
+                self.spec.fingerprint(), list(by_id), resume=resume)
+            if resumed:
+                self._adopt_orphan_results(by_id, tracer)
+            report = self._drain(by_id, tracer, metrics, t0)
+            report.resumed = resumed
+            report.workers = self.workers
+            report.manifest_path = str(self.manifest.path)
+            results = merge_results(self.fleet_dir, tasks, self.manifest)
+            report.results_path = str(results)
+            summary = write_summary(self.fleet_dir, report,
+                                    self.spec.fingerprint())
+            report.summary_path = str(summary)
+            fleet_span.set(succeeded=report.succeeded,
+                           quarantined=report.quarantined,
+                           retries=report.retries,
+                           searches_per_minute=report.searches_per_minute)
+            metrics.gauge(
+                "fleet_searches_per_minute",
+                "completed searches per minute at fleet width").set(
+                    report.searches_per_minute)
+        return report
+
+    def summary(self, report: FleetReport) -> str:
+        return format_fleet_report(report)
+
+    # -- resume adoption -----------------------------------------------------
+
+    def _adopt_orphan_results(self, by_id: dict[str, SweepTask],
+                              tracer) -> None:
+        """Adopt finished results the previous fleet never recorded.
+
+        A supervisor killed between a worker's atomic ``result.json``
+        write and the manifest's ``done`` flush — or whose orphaned
+        workers finished after it died — left completed work on disk.
+        Recognise it by task id (a content hash, so a matching file
+        *is* the right answer) instead of recomputing.
+        """
+        for tid in self.manifest.in_state("pending"):
+            doc = read_json(task_dir(self.fleet_dir, tid) / "result.json")
+            if doc is None or doc.get("record", {}).get("task_id") != tid:
+                continue
+            self.manifest.mark_done(
+                tid, seconds=float(doc.get("elapsed_seconds", 0.0)))
+            counters = self.manifest.counters
+            counters["adopted"] = int(counters.get("adopted", 0)) + 1
+            self.manifest.flush()
+            with tracer.span("fleet.task", task=by_id[tid].label,
+                             state="adopted"):
+                pass
+
+    # -- the drain loop ------------------------------------------------------
+
+    def _drain(self, by_id: dict[str, SweepTask], tracer, metrics,
+               t0: float) -> FleetReport:
+        running: dict[str, _InFlight] = {}
+        next_eligible: dict[str, float] = {}
+        completed_this_run = 0
+        task_seconds = metrics.histogram(
+            "fleet_task_seconds", "wall seconds per completed fleet task")
+        try:
+            while True:
+                self._poll_control(running)
+                completed_this_run += self._reap(
+                    running, by_id, tracer, metrics, next_eligible,
+                    task_seconds)
+                self._kill_stragglers(running, metrics)
+                pending = self.manifest.in_state("pending")
+                if not pending and not running:
+                    break
+                self._dispatch(pending, running, by_id, next_eligible)
+                self.manifest.flush(force=False)
+                time.sleep(POLL_INTERVAL_SECONDS)
+        except BaseException:
+            self._shutdown(running)
+            raise
+        return self._build_report(by_id, completed_this_run,
+                                  time.monotonic() - t0)
+
+    def _poll_control(self, running: dict[str, _InFlight]) -> None:
+        """Surface cancellation/deadline; `_drain`'s unwind path kills
+        the children before the error escapes."""
+        assert self.ctx.cancellation is not None
+        assert self.ctx.budget is not None
+        self.ctx.cancellation.check("fleet")
+        self.ctx.budget.check("fleet")
+
+    def _dispatch(self, pending: list[str], running: dict[str, _InFlight],
+                  by_id: dict[str, SweepTask],
+                  next_eligible: dict[str, float]) -> None:
+        now = time.monotonic()
+        for tid in pending:
+            if len(running) >= self.workers:
+                break
+            if tid in running or next_eligible.get(tid, 0.0) > now:
+                continue
+            task = by_id[tid]
+            attempt = int(self.manifest.task(tid)["attempts"])
+            tdir = task_dir(self.fleet_dir, tid)
+            tdir.mkdir(parents=True, exist_ok=True)
+            # Clear the previous attempt's heartbeat so staleness is
+            # always measured against *this* process.
+            (tdir / "heartbeat.json").unlink(missing_ok=True)
+            proc = self._mp.Process(
+                target=worker_main,
+                args=(task.to_dict(), attempt + 1, str(self.fleet_dir),
+                      {"task_deadline": self.task_deadline}),
+                name=f"fleet-worker-{tid}")
+            proc.start()
+            assert proc.pid is not None
+            self.manifest.mark_running(tid, pid=proc.pid)
+            running[tid] = _InFlight(task=task, process=proc, started=now)
+
+    def _reap(self, running: dict[str, _InFlight],
+              by_id: dict[str, SweepTask], tracer, metrics,
+              next_eligible: dict[str, float], task_seconds) -> int:
+        """Collect finished workers; returns tasks completed this call."""
+        done = 0
+        for tid in list(running):
+            flight = running[tid]
+            if flight.process.is_alive():
+                continue
+            flight.process.join()
+            del running[tid]
+            seconds = time.monotonic() - flight.started
+            exitcode = flight.process.exitcode
+            tdir = task_dir(self.fleet_dir, tid)
+            result = read_json(tdir / "result.json")
+            attempt_ok = (exitcode == 0 and result is not None
+                          and result.get("record", {}).get("task_id") == tid)
+            if attempt_ok:
+                self.manifest.mark_done(tid, seconds=seconds)
+                task_seconds.observe(seconds)
+                metrics.counter("fleet_tasks_succeeded_total",
+                                "fleet tasks completed").inc()
+                with tracer.span("fleet.task", task=flight.task.label,
+                                 state="done", seconds_task=seconds,
+                                 attempts=self.manifest.task(tid)["attempts"]):
+                    pass
+                done += 1
+                continue
+            kind, detail = self._failure_of(flight, exitcode, tdir)
+            attempts = int(self.manifest.task(tid)["attempts"])
+            state = self.manifest.mark_failed(
+                tid, detail=detail, kind=kind,
+                max_attempts=self.max_attempts)
+            if state == "quarantined":
+                metrics.counter("fleet_tasks_quarantined_total",
+                                "fleet tasks quarantined").inc()
+            else:
+                metrics.counter("fleet_task_retries_total",
+                                "fleet task retry dispatches").inc()
+                next_eligible[tid] = time.monotonic() + _backoff(
+                    tid, attempts, self.backoff_base, self.backoff_cap)
+            with tracer.span("fleet.task", task=flight.task.label,
+                             state=state, failure=kind,
+                             attempts=attempts):
+                pass
+        return done
+
+    @staticmethod
+    def _failure_of(flight: _InFlight, exitcode: int | None,
+                    tdir: Path) -> tuple[str, str]:
+        """Classify a failed attempt from the evidence left behind."""
+        if flight.straggler_killed:
+            return "straggler", "heartbeat went stale; worker SIGKILLed"
+        err = read_json(tdir / "error.json")
+        if exitcode == 1 and err is not None:
+            return (str(err.get("kind", "error")),
+                    f"{err.get('type', 'Exception')}: "
+                    f"{err.get('detail', '?')}")
+        return "crash", (f"worker died with exit code {exitcode} and no "
+                         "error report")
+
+    def _kill_stragglers(self, running: dict[str, _InFlight],
+                         metrics) -> None:
+        """SIGKILL workers whose heartbeat went stale; reap handles it."""
+        now = time.monotonic()
+        wall_now = time.time()
+        for tid, flight in running.items():
+            if not flight.process.is_alive() or flight.straggler_killed:
+                continue
+            age = now - flight.started
+            if age < self.straggler_after:
+                continue  # spawn grace: younger than the threshold
+            hb = read_json(task_dir(self.fleet_dir, tid) / "heartbeat.json")
+            hb_age = (wall_now - float(hb["time"])) if hb else age
+            if hb_age < self.straggler_after:
+                continue
+            flight.straggler_killed = True
+            metrics.counter("fleet_stragglers_killed_total",
+                            "straggling fleet workers SIGKILLed").inc()
+            flight.process.kill()
+
+    def _shutdown(self, running: dict[str, _InFlight]) -> None:
+        """TERM then KILL every child, flush the manifest, stay quiet."""
+        for flight in running.values():
+            if flight.process.is_alive():
+                flight.process.terminate()
+        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+        for flight in running.values():
+            flight.process.join(max(0.0, deadline - time.monotonic()))
+            if flight.process.is_alive():
+                flight.process.kill()
+                flight.process.join()
+        # The in-flight attempts die with us; resume demotes their
+        # "running" slots back to pending.
+        self.manifest.flush()
+
+    # -- reporting -----------------------------------------------------------
+
+    def _build_report(self, by_id: dict[str, SweepTask],
+                      completed_this_run: int,
+                      wall_seconds: float) -> FleetReport:
+        counts = self.manifest.counts()
+        report = FleetReport(
+            tasks_total=len(by_id),
+            succeeded=counts["done"],
+            quarantined=counts["quarantined"],
+            retries=counts["retries"],
+            stragglers_killed=counts["stragglers_killed"],
+            worker_crashes=counts["worker_crashes"],
+            adopted=int(counts.get("adopted", 0)),
+            completed_this_run=completed_this_run,
+            wall_seconds=wall_seconds,
+            searches_per_minute=(
+                60.0 * completed_this_run / wall_seconds
+                if wall_seconds > 0 else 0.0),
+        )
+        for tid in self.manifest.in_state("quarantined"):
+            rec = self.manifest.task(tid)
+            report.quarantined_tasks.append({
+                "task_id": tid,
+                "label": by_id[tid].label,
+                "attempts": rec["attempts"],
+                "last_error": rec.get("last_error"),
+            })
+        return report
+
+
+def run_sweep(spec: SweepSpec, fleet_dir: str | Path, *,
+              resume: bool = False, **kwargs: Any) -> FleetReport:
+    """One-call convenience wrapper: build a supervisor and drain it."""
+    return FleetSupervisor(spec, fleet_dir, **kwargs).run(resume=resume)

@@ -1,0 +1,259 @@
+"""The fleet worker: one process, one task, crash-only protocol.
+
+Every dispatch runs :func:`worker_main` in a fresh child process.  The
+worker never talks to the supervisor over a pipe — pipes die with
+processes.  All communication is crash-safe files under the task's
+directory ``<fleet_dir>/tasks/<task_id>/``:
+
+``heartbeat.json``
+    Re-written atomically every `HEARTBEAT_INTERVAL_SECONDS` by a
+    daemon thread.  A stale heartbeat is how the supervisor detects a
+    wedged or silently-dead worker and reassigns the task.
+``result.json``
+    Written atomically on success; carries the deterministic ``record``
+    the merged results JSONL is built from (task, cost, strategy,
+    optional fault-injected simulation) plus operational fields
+    (elapsed seconds, attempt number) kept *out* of the record so
+    resumed and fresh sweeps merge bit-identically.
+``error.json``
+    Written atomically on any caught failure, then the worker exits
+    non-zero.  A worker that dies without writing either file (SIGKILL,
+    ``os._exit``, segfault) is still handled: the supervisor sees the
+    exit code and the missing result.
+
+The search itself is a journalled `execute_search` under the task's own
+`RunContext` — per-task wall-clock deadline and memory budget — with
+the journal's table store pointed at the fleet-wide shared `TableCache`
+(multi-process safe), so identical (graph, machine, p, mode) cells
+across the sweep build their cost tables exactly once.  A retried task
+resumes its own journal when the previous attempt got far enough to
+leave one.
+
+Chaos hooks (``task.chaos``, see `repro.fleet.spec`) let the tests and
+CI make a worker ``os._exit`` mid-task, raise, or wedge with heartbeats
+suppressed — real process-level faults, not monkeypatched ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..core.exceptions import (
+    DeadlineExceededError,
+    JournalError,
+    SearchResourceError,
+)
+from ..obs.metrics import atomic_write_text
+from .spec import SweepTask
+
+__all__ = ["worker_main", "task_dir", "read_json",
+           "HEARTBEAT_INTERVAL_SECONDS", "RESULT_VERSION"]
+
+#: Seconds between heartbeat re-writes.
+HEARTBEAT_INTERVAL_SECONDS = 0.25
+
+#: Result/error file schema version.
+RESULT_VERSION = 1
+
+
+def task_dir(fleet_dir: str | os.PathLike, task_id: str) -> Path:
+    return Path(fleet_dir) / "tasks" / task_id
+
+
+def read_json(path: Path) -> dict[str, Any] | None:
+    """Best-effort read of a worker artifact; None if absent/torn.
+
+    Artifacts are written atomically, so a parse failure means the file
+    predates this fleet layout — treated the same as missing.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _write_json(path: Path, payload: Mapping[str, Any]) -> None:
+    atomic_write_text(path, json.dumps(payload, sort_keys=True, indent=2))
+
+
+class _Heartbeat:
+    """Daemon thread atomically re-writing the task's heartbeat file."""
+
+    def __init__(self, path: Path, task_id: str, attempt: int) -> None:
+        self.path = path
+        self.task_id = task_id
+        self.attempt = attempt
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name=f"heartbeat-{task_id}")
+
+    def _beat(self) -> None:
+        _write_json(self.path, {
+            "task_id": self.task_id,
+            "attempt": self.attempt,
+            "pid": os.getpid(),
+            "time": time.time(),
+        })
+
+    def _run(self) -> None:
+        while not self._stop.wait(HEARTBEAT_INTERVAL_SECONDS):
+            try:
+                self._beat()
+            except OSError:  # pragma: no cover - disk full etc.
+                pass
+
+    def start(self) -> None:
+        self._beat()
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+
+def _apply_chaos(task: SweepTask, attempt: int,
+                 heartbeat: _Heartbeat) -> None:
+    """Misbehave per the task's test-only chaos hook.
+
+    ``attempts`` bounds which attempts misbehave (default: all of them,
+    i.e. a poison task); ``{"kind": "exit", "attempts": 1}`` crashes
+    only the first attempt, modelling a transient worker death.
+    """
+    chaos = task.chaos
+    if chaos is None or attempt > int(chaos.get("attempts", 1 << 30)):
+        return
+    kind = chaos["kind"]
+    if kind == "exit":
+        # The moral equivalent of an OOM kill: no cleanup, no result.
+        os._exit(int(chaos.get("code", 13)))
+    if kind == "raise":
+        raise RuntimeError(chaos.get("message", "chaos: injected failure"))
+    if kind == "hang":
+        # A wedged worker: stop heartbeating, then sleep well past any
+        # straggler threshold so the supervisor must SIGKILL us.
+        heartbeat.stop()
+        time.sleep(float(chaos.get("seconds", 3600.0)))
+
+
+def _run_task(task: SweepTask, attempt: int, fleet: Path,
+              options: Mapping[str, Any]) -> dict[str, Any]:
+    """Execute one task; returns the deterministic result record."""
+    from ..core.configs import ConfigSpace
+    from ..core.dp import DEFAULT_MEMORY_BUDGET
+    from ..core.machine import MACHINES
+    from ..core.tablecache import TableCache
+    from ..models import BENCHMARKS
+    from ..runtime import RunBudget, RunContext, SearchJournal
+    from ..runtime.run import execute_search
+
+    machine = MACHINES[task.machine]
+    graph = BENCHMARKS[task.model]()
+    space = ConfigSpace.build(graph, task.p, mode=task.mode)
+    shared_cache = TableCache(fleet / "table-cache")
+    tdir = task_dir(fleet, task.task_id)
+    journal = SearchJournal(tdir / "journal", table_store=shared_cache)
+    ctx = RunContext(
+        budget=RunBudget(
+            deadline=options.get("task_deadline"),
+            memory_budget=task.memory_budget or DEFAULT_MEMORY_BUDGET),
+        journal=journal, jobs=None)
+    # A previous attempt that reached the journal gets replayed/resumed
+    # bit-identically; a fresh or fingerprint-mismatched journal starts
+    # over (the journal overwrites itself on a fresh open).
+    resume = (tdir / "journal" / "journal.json").is_file()
+    try:
+        outcome = execute_search(
+            graph, space, machine, method=task.method, seed=task.seed,
+            reduce=task.reduce, resilient=task.resilient, ctx=ctx,
+            resume=resume)
+    except JournalError:
+        if not resume:
+            raise
+        outcome = execute_search(
+            graph, space, machine, method=task.method, seed=task.seed,
+            reduce=task.reduce, resilient=task.resilient, ctx=ctx,
+            resume=False)
+    result = outcome.result
+    record: dict[str, Any] = {
+        "task_id": task.task_id,
+        "label": task.label,
+        "task": task.to_dict(),
+        "cost": result.cost,
+        "method": result.method,
+        "strategy": {n: list(c) for n, c in
+                     result.strategy.assignment.items()},
+    }
+    if task.faults is not None:
+        from ..cluster import simulate_step
+        from ..resilience import FaultPlan
+
+        plan = FaultPlan.from_dict(dict(task.faults))
+        plan.validate(task.p)
+        rep = simulate_step(graph, result.strategy, machine, task.p,
+                            faults=plan)
+        record["sim"] = {
+            "step_time": rep.step_time,
+            "throughput": rep.throughput,
+            "faults": task.faults_name or "faults",
+        }
+    return record
+
+
+def worker_main(task_dict: Mapping[str, Any], attempt: int,
+                fleet_dir: str, options: Mapping[str, Any]) -> None:
+    """Child-process entry point: run one task, leave files, exit.
+
+    Exit codes: 0 success (``result.json`` written), 1 failure
+    (``error.json`` written); anything else means the process died
+    uncleanly and the supervisor treats it as a crash.
+    """
+    # The supervisor owns shutdown: ignore SIGINT (a terminal ^C hits
+    # the whole process group) so the fleet winds down through the
+    # supervisor's manifest flush, not through 50 dying children.  A
+    # forked child also inherits `trap_signals`' SIGTERM handler, which
+    # would flip a *copy* of the supervisor's token and keep running —
+    # restore the default so the supervisor's terminate() actually
+    # terminates.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    task = SweepTask.from_dict(dict(task_dict))
+    tdir = task_dir(fleet_dir, task.task_id)
+    tdir.mkdir(parents=True, exist_ok=True)
+    heartbeat = _Heartbeat(tdir / "heartbeat.json", task.task_id, attempt)
+    heartbeat.start()
+    t0 = time.perf_counter()
+    try:
+        _apply_chaos(task, attempt, heartbeat)
+        record = _run_task(task, attempt, Path(fleet_dir), options)
+    except Exception as err:
+        if isinstance(err, DeadlineExceededError):
+            kind = "deadline"
+        elif isinstance(err, SearchResourceError):
+            kind = "resource"
+        else:
+            kind = "error"
+        _write_json(tdir / "error.json", {
+            "version": RESULT_VERSION,
+            "task_id": task.task_id,
+            "attempt": attempt,
+            "kind": kind,
+            "type": type(err).__name__,
+            "detail": str(err),
+        })
+        heartbeat.stop()
+        sys.exit(1)
+    _write_json(tdir / "result.json", {
+        "version": RESULT_VERSION,
+        "record": record,
+        "attempt": attempt,
+        "elapsed_seconds": time.perf_counter() - t0,
+    })
+    heartbeat.stop()
+    sys.exit(0)

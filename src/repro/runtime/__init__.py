@@ -15,6 +15,7 @@ from .report import (
     EXIT_ERROR,
     EXIT_INTERRUPTED,
     EXIT_OK,
+    EXIT_QUARANTINED,
     EXIT_RESOURCE,
     EXIT_SIMULATION,
     EXIT_USAGE,
@@ -45,4 +46,5 @@ __all__ = [
     "EXIT_SIMULATION",
     "EXIT_DEADLINE",
     "EXIT_INTERRUPTED",
+    "EXIT_QUARANTINED",
 ]

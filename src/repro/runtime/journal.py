@@ -53,10 +53,12 @@ def _normalize(fingerprint: dict) -> dict:
 class SearchJournal:
     """One resumable run's on-disk state under a journal directory."""
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(self, root: str | os.PathLike, *,
+                 table_store: "TableCache | None" = None) -> None:
         self.root = Path(root)
         self.path = self.root / "journal.json"
         self.state: dict[str, Any] | None = None
+        self._table_store = table_store
         self._last_progress_write = 0.0
 
     # -- lifecycle -----------------------------------------------------------
@@ -125,14 +127,19 @@ class SearchJournal:
     # -- tables --------------------------------------------------------------
 
     def table_cache(self) -> "TableCache":
-        """The journal's embedded cost-table store.
+        """The journal's cost-table store.
 
-        Content-addressed like any `TableCache`, so a resume hits the
-        digest of the interrupted build and a fingerprint-mismatched
-        entry is simply never read.
+        Defaults to an embedded store at ``<journal>/tables``; a
+        ``table_store`` passed at construction (e.g. a fleet-wide shared
+        cache) is used instead.  Either way the store is
+        content-addressed, so a resume hits the digest of the
+        interrupted build and a fingerprint-mismatched entry is simply
+        never read — sharing the store across runs is sound.
         """
         from ..core.tablecache import TableCache
 
+        if self._table_store is not None:
+            return self._table_store
         return TableCache(self.root / "tables")
 
     # -- phase bookkeeping ---------------------------------------------------

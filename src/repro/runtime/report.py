@@ -20,6 +20,8 @@ code  meaning
 5     wall-clock deadline exceeded (`DeadlineExceededError`)
 6     interrupted by SIGINT/SIGTERM, journal flushed
       (`RunInterrupted`; resume with ``--resume``)
+7     fleet sweep drained, but some tasks were quarantined
+      after exhausting their retries (``pase sweep``)
 ====  =====================================================
 """
 
@@ -29,7 +31,8 @@ from dataclasses import dataclass, field
 
 __all__ = ["PhaseRecord", "RunReport", "EXIT_OK", "EXIT_ERROR",
            "EXIT_USAGE", "EXIT_RESOURCE", "EXIT_SIMULATION",
-           "EXIT_DEADLINE", "EXIT_INTERRUPTED", "EXIT_CODES"]
+           "EXIT_DEADLINE", "EXIT_INTERRUPTED", "EXIT_QUARANTINED",
+           "EXIT_CODES"]
 
 EXIT_OK = 0
 EXIT_ERROR = 1
@@ -38,6 +41,7 @@ EXIT_RESOURCE = 3
 EXIT_SIMULATION = 4
 EXIT_DEADLINE = 5
 EXIT_INTERRUPTED = 6
+EXIT_QUARANTINED = 7
 
 #: Outcome label -> process exit code.
 EXIT_CODES: dict[str, int] = {

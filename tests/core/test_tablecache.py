@@ -327,3 +327,59 @@ class TestQuarantine:
         again = cm.build_tables(g, space, cache=cache)
         assert again.build_stats["cache_hit"] == 1.0
         assert tables_equal(again, reference)
+
+
+def _hammer_cache(root: str, seed: int, rounds: int) -> None:
+    """Child-process body: write dummy entries and evict repeatedly.
+
+    Module-level so multiprocessing can pickle it by reference.  Exits
+    non-zero on any exception — the parent asserts on the exit code.
+    """
+    import os
+    import sys
+
+    try:
+        cache = TableCache(root, max_bytes=64 * 1024)
+        payload = os.urandom(8 * 1024)
+        for i in range(rounds):
+            digest = f"{seed:02d}{i:04d}" + "e" * 58
+            tmp = cache.root / f".w{seed}.tmp"
+            cache.root.mkdir(parents=True, exist_ok=True)
+            tmp.write_bytes(payload)
+            os.replace(tmp, cache.path_for(digest))
+            cache.evict()
+            cache.total_bytes()
+    except BaseException as err:  # pragma: no cover - failure path
+        print(f"hammer[{seed}] died: {type(err).__name__}: {err}",
+              file=sys.stderr)
+        os._exit(1)
+    os._exit(0)
+
+
+class TestConcurrentWriters:
+    def test_two_processes_hammering_one_cache(self, tmp_path):
+        """Two writers storing and evicting against one directory must
+        never crash (stat/unlink races) nor blow past the cap: the
+        flock around eviction serializes the scan-and-delete."""
+        import multiprocessing
+
+        root = tmp_path / "shared"
+        procs = [multiprocessing.Process(
+            target=_hammer_cache, args=(str(root), seed, 60))
+            for seed in (1, 2)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+        assert [p.exitcode for p in procs] == [0, 0]
+        cache = TableCache(root, max_bytes=64 * 1024)
+        # Post-quiescence the directory respects the cap exactly.
+        cache.evict()
+        assert cache.total_bytes() <= cache.max_bytes
+
+    def test_lock_file_is_invisible_to_entries(self, tmp_path):
+        cache = TableCache(tmp_path / "c")
+        with cache._lock():
+            pass
+        assert list(cache.entries()) == []
+        assert (cache.root / ".lock").is_file()

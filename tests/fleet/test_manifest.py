@@ -1,0 +1,118 @@
+"""Fleet manifest: crash-safe state machine for sweep tasks."""
+
+import json
+
+import pytest
+
+from repro.core.exceptions import JournalError
+from repro.fleet import FleetManifest, MANIFEST_VERSION
+
+IDS = ["aaaa", "bbbb", "cccc"]
+FP = "f" * 64
+
+
+@pytest.fixture
+def manifest(tmp_path):
+    m = FleetManifest(tmp_path / "fleet")
+    m.open(FP, list(IDS))
+    return m
+
+
+class TestLifecycle:
+    def test_fresh_open_writes_all_pending(self, manifest):
+        assert manifest.path.is_file()
+        assert manifest.in_state("pending") == IDS
+        counts = manifest.counts()
+        assert counts["pending"] == 3 and counts["done"] == 0
+
+    def test_transitions_and_attempt_counting(self, manifest):
+        manifest.mark_running("aaaa", pid=123)
+        assert manifest.task_state("aaaa") == "running"
+        assert manifest.task("aaaa")["attempts"] == 1
+        manifest.mark_done("aaaa", seconds=1.5)
+        assert manifest.task_state("aaaa") == "done"
+        assert "pid" not in manifest.task("aaaa")
+
+    def test_failure_retries_until_quarantine(self, manifest):
+        for expected in ("pending", "pending", "quarantined"):
+            manifest.mark_running("bbbb", pid=1)
+            state = manifest.mark_failed(
+                "bbbb", detail="boom", kind="error", max_attempts=3)
+            assert state == expected
+        counts = manifest.counts()
+        assert counts["quarantined"] == 1
+        assert counts["retries"] == 2
+        assert manifest.task("bbbb")["last_error"]["detail"] == "boom"
+
+    def test_failure_kinds_feed_their_counters(self, manifest):
+        manifest.mark_running("aaaa", pid=1)
+        manifest.mark_failed("aaaa", detail="d", kind="crash",
+                             max_attempts=9)
+        manifest.mark_running("bbbb", pid=2)
+        manifest.mark_failed("bbbb", detail="d", kind="straggler",
+                             max_attempts=9)
+        counts = manifest.counts()
+        assert counts["worker_crashes"] == 1
+        assert counts["stragglers_killed"] == 1
+
+    def test_every_flush_is_a_complete_snapshot(self, manifest):
+        manifest.mark_running("aaaa", pid=7)
+        on_disk = json.loads(manifest.path.read_text())
+        assert on_disk["version"] == MANIFEST_VERSION
+        assert on_disk["tasks"]["aaaa"]["state"] == "running"
+        # No temp files left behind by the atomic writes.
+        assert list(manifest.root.glob("*.tmp")) == []
+
+
+class TestResume:
+    def test_resume_demotes_running_tasks(self, manifest):
+        manifest.mark_running("aaaa", pid=1)
+        manifest.mark_done("aaaa", seconds=0.1)
+        manifest.mark_running("bbbb", pid=2)
+
+        fresh = FleetManifest(manifest.root)
+        assert fresh.open(FP, list(IDS), resume=True) is True
+        assert fresh.task_state("aaaa") == "done"
+        assert fresh.task_state("bbbb") == "pending"
+        counts = fresh.counts()
+        assert counts["resumes"] == 1
+        assert counts["reassigned_on_resume"] == 1
+
+    def test_resume_keeps_attempt_history(self, manifest):
+        manifest.mark_running("cccc", pid=3)
+        fresh = FleetManifest(manifest.root)
+        fresh.open(FP, list(IDS), resume=True)
+        assert fresh.task("cccc")["attempts"] == 1
+
+    def test_resume_rejects_a_different_spec(self, manifest):
+        fresh = FleetManifest(manifest.root)
+        with pytest.raises(JournalError, match="fingerprint"):
+            fresh.open("0" * 64, list(IDS), resume=True)
+
+    def test_resume_rejects_a_different_task_set(self, manifest):
+        fresh = FleetManifest(manifest.root)
+        with pytest.raises(JournalError, match="task set"):
+            fresh.open(FP, IDS + ["dddd"], resume=True)
+
+    def test_resume_without_a_manifest_fails_loudly(self, tmp_path):
+        with pytest.raises(JournalError, match="no fleet manifest"):
+            FleetManifest(tmp_path / "empty").open(
+                FP, list(IDS), resume=True)
+
+    def test_resume_rejects_an_unsupported_version(self, manifest):
+        state = json.loads(manifest.path.read_text())
+        state["version"] = MANIFEST_VERSION + 1
+        manifest.path.write_text(json.dumps(state))
+        with pytest.raises(JournalError, match="version"):
+            FleetManifest(manifest.root).open(FP, list(IDS), resume=True)
+
+    def test_resume_rejects_a_torn_manifest(self, manifest):
+        manifest.path.write_text("{not json")
+        with pytest.raises(JournalError, match="unreadable"):
+            FleetManifest(manifest.root).open(FP, list(IDS), resume=True)
+
+    def test_fresh_open_overwrites_an_old_fleet(self, manifest):
+        manifest.mark_running("aaaa", pid=1)
+        fresh = FleetManifest(manifest.root)
+        assert fresh.open("1" * 64, ["xxxx"]) is False
+        assert fresh.in_state("pending") == ["xxxx"]

@@ -1,0 +1,141 @@
+"""Sweep-spec expansion: deterministic, validated, loudly rejected."""
+
+import json
+
+import pytest
+
+from repro.fleet import SPEC_VERSION, SweepSpec, SweepSpecError, SweepTask
+
+
+def small_spec(**overrides):
+    base = dict(models=["alexnet"], ps=[2, 4],
+                methods=["ours", "data_parallel"])
+    base.update(overrides)
+    return SweepSpec.from_dict(base)
+
+
+class TestExpansion:
+    def test_grid_size_is_the_cross_product(self):
+        assert len(small_spec().expand()) == 4
+
+    def test_expansion_order_is_deterministic(self):
+        a = [t.task_id for t in small_spec().expand()]
+        b = [t.task_id for t in small_spec().expand()]
+        assert a == b
+
+    def test_grid_order_follows_field_order(self):
+        tasks = small_spec().expand()
+        # ps is an outer axis relative to methods.
+        assert [(t.p, t.method) for t in tasks] == [
+            (2, "ours"), (2, "data_parallel"),
+            (4, "ours"), (4, "data_parallel")]
+
+    def test_explicit_tasks_append_after_the_grid(self):
+        spec = small_spec(tasks=[{"model": "rnnlm", "p": 4}])
+        tasks = spec.expand()
+        assert len(tasks) == 5
+        assert tasks[-1].model == "rnnlm"
+
+    def test_fault_plans_expand_with_names(self):
+        plan = {"name": "slow2", "plan": {
+            "stragglers": [{"device": 0, "slowdown": 2.0}]}}
+        spec = small_spec(fault_plans=[None, plan])
+        tasks = spec.expand()
+        assert len(tasks) == 8
+        named = [t for t in tasks if t.faults is not None]
+        assert len(named) == 4
+        assert all(t.faults_name == "slow2" for t in named)
+
+    def test_zero_tasks_rejected(self):
+        with pytest.raises(SweepSpecError, match="zero tasks"):
+            SweepSpec.from_dict({"models": []}).expand()
+
+    def test_duplicate_tasks_rejected(self):
+        spec = small_spec(tasks=[{"model": "alexnet", "p": 2}])
+        with pytest.raises(SweepSpecError, match="duplicate"):
+            spec.expand()
+
+    def test_malformed_fault_plan_entry_rejected(self):
+        spec = small_spec(fault_plans=[{"oops": True}])
+        with pytest.raises(SweepSpecError, match="fault_plans"):
+            spec.expand()
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value,match", [
+        ("models", ["lenet"], "unknown model"),
+        ("machines", ["tpu"], "unknown machine"),
+        ("ps", [0], "must be >= 1"),
+        ("modes", ["weird"], "unknown mode"),
+        ("methods", ["magic"], "unknown method"),
+    ])
+    def test_bad_axis_values_rejected(self, field, value, match):
+        with pytest.raises(SweepSpecError, match=match):
+            small_spec(**{field: value}).expand()
+
+    def test_bad_chaos_kind_rejected(self):
+        spec = small_spec(
+            tasks=[{"model": "rnnlm", "chaos": {"kind": "dance"}}])
+        with pytest.raises(SweepSpecError, match="chaos kind"):
+            spec.expand()
+
+    def test_unknown_spec_field_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown field"):
+            SweepSpec.from_dict({"models": ["alexnet"], "colour": "red"})
+
+    def test_unknown_task_field_rejected(self):
+        with pytest.raises(SweepSpecError, match="unknown field"):
+            SweepTask.from_dict({"model": "alexnet", "gpu": 9})
+
+    def test_future_version_rejected(self):
+        with pytest.raises(SweepSpecError, match="version"):
+            SweepSpec.from_dict({"version": SPEC_VERSION + 1,
+                                 "models": ["alexnet"]})
+
+
+class TestIdentity:
+    def test_task_id_is_stable_and_content_addressed(self):
+        a = SweepTask(model="alexnet", p=4)
+        b = SweepTask(model="alexnet", p=4)
+        c = SweepTask(model="alexnet", p=8)
+        assert a.task_id == b.task_id
+        assert a.task_id != c.task_id
+
+    def test_chaos_participates_in_the_task_id(self):
+        plain = SweepTask(model="alexnet")
+        chaotic = SweepTask(model="alexnet", chaos={"kind": "raise"})
+        assert plain.task_id != chaotic.task_id
+
+    def test_fingerprint_pins_the_whole_spec(self):
+        assert small_spec().fingerprint() == small_spec().fingerprint()
+        assert small_spec().fingerprint() != \
+            small_spec(seeds=[1]).fingerprint()
+
+    def test_roundtrips_through_json(self):
+        spec = small_spec(fault_plans=[None])
+        again = SweepSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert again.fingerprint() == spec.fingerprint()
+
+
+class TestFromFile:
+    def test_reads_a_spec_file(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps({"models": ["alexnet"], "ps": [2]}))
+        assert len(SweepSpec.from_file(path).expand()) == 1
+
+    def test_missing_file_is_a_spec_error(self, tmp_path):
+        with pytest.raises(SweepSpecError, match="cannot read"):
+            SweepSpec.from_file(tmp_path / "nope.json")
+
+    def test_invalid_json_is_a_spec_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{nope")
+        with pytest.raises(SweepSpecError, match="not valid JSON"):
+            SweepSpec.from_file(path)
+
+    def test_non_object_json_is_a_spec_error(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(SweepSpecError, match="must be an object"):
+            SweepSpec.from_file(path)

@@ -138,6 +138,72 @@ class TestRealWorkerDeath:
         assert tables_equal(tables, reference)
 
 
+class TestInterruptibleBackoff:
+    """The retry backoff must poll the run's checkpoint, not sleep
+    through a SIGINT or a blown deadline (the fleet's per-task deadlines
+    depend on this: a worker stuck in a 30s backoff is a straggler)."""
+
+    def test_sleep_aborts_at_the_next_poll(self):
+        import time as _time
+
+        from repro.core.exceptions import RunInterrupted
+
+        calls = {"n": 0}
+
+        def checkpoint(**kwargs):
+            calls["n"] += 1
+            if calls["n"] >= 3:
+                raise RunInterrupted("SIGINT", signal_name="SIGINT")
+
+        t0 = _time.perf_counter()
+        with pytest.raises(RunInterrupted):
+            costmodel._interruptible_sleep(60.0, checkpoint)
+        assert _time.perf_counter() - t0 < 5.0
+        assert calls["n"] == 3
+
+    def test_sleep_without_checkpoint_just_sleeps(self):
+        costmodel._interruptible_sleep(0.0, None)  # must not raise
+
+    def test_full_backoff_polls_then_returns(self):
+        calls = {"n": 0}
+
+        def checkpoint(**kwargs):
+            calls["n"] += 1
+
+        costmodel._interruptible_sleep(0.12, checkpoint)
+        assert calls["n"] >= 2  # polled at least once per slice
+
+    def test_build_retry_backoff_honors_cancellation(
+            self, monkeypatch, fast_faults):
+        """Cancel mid-backoff: the hardened build must unwind with
+        RunInterrupted instead of finishing the sleep and degrading."""
+        import time as _time
+
+        from concurrent.futures.process import BrokenProcessPool
+
+        from repro.core.exceptions import RunInterrupted
+        from repro.runtime import Cancellation, RunContext
+
+        monkeypatch.setattr(costmodel, "PARALLEL_RETRY_BACKOFF_SECONDS",
+                            60.0)
+
+        cancel = Cancellation()
+
+        def explode(self, graph, space, workers):
+            # Fail the first attempt, then request cancellation so the
+            # backoff before the retry is where the poll must fire.
+            cancel.set("SIGINT")
+            raise BrokenProcessPool("worker killed by test")
+
+        monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
+        graph, space = make_problem()
+        ctx = RunContext(cancellation=cancel, jobs=2)
+        t0 = _time.perf_counter()
+        with pytest.raises(RunInterrupted):
+            CostModel(GTX1080TI).build_tables(graph, space, ctx=ctx)
+        assert _time.perf_counter() - t0 < 5.0
+
+
 class TestRuntimeSurfacesDegradation:
     def test_execute_search_reports_degraded_build(
             self, monkeypatch, fast_faults, tmp_path):
