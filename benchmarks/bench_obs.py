@@ -114,7 +114,9 @@ def test_trace_reconstructs_full_span_tree(net, tmp_path):
     space = ConfigSpace.build(graph, P, mode="pow2")
     trace_path = tmp_path / f"{net}.trace.jsonl"
     ctx = RunContext(tracer=Tracer(trace_path))
-    outcome = execute_search(graph, space, GTX1080TI, reduce=True, ctx=ctx)
+    # reduce="always" pins the reduction spans in the tree — plain
+    # reduce=True would auto-bypass the reduction on AlexNet at p=16.
+    outcome = execute_search(graph, space, GTX1080TI, reduce="always", ctx=ctx)
     ctx.tracer.close()
 
     records = read_trace(trace_path)

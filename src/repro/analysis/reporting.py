@@ -60,8 +60,13 @@ def format_reduction_stats(stats: Mapping[str, float]) -> str:
 
     Reads the ``reduction_*`` keys `repro.core.reduction.reduce_problem`
     reports through ``SearchResult.stats``; returns a disabled marker
-    when they are absent (search ran without ``--reduce``).
+    when they are absent (search ran without ``--reduce``) and a bypass
+    marker when ``reduce="auto"`` predicted the plain DP to be cheaper
+    than the reduction itself and skipped it.
     """
+    if stats.get("reduction_bypassed"):
+        return ("search-space reduction: bypassed (plain DP predicted "
+                "cheaper; force with reduce='always')")
     seconds = stats.get("reduction_seconds")
     if seconds is None:
         return "search-space reduction: off"

@@ -46,7 +46,13 @@ def _add_table_opts(sub: argparse.ArgumentParser) -> None:
                      default=False,
                      help="run the exactness-preserving search-space "
                      "reduction (dominance pruning + chain contraction) "
-                     "before the DP")
+                     "before the DP (auto-bypassed when the plain DP is "
+                     "predicted to be cheap; see PASE_REDUCE_BYPASS_RATIO)")
+    sub.add_argument("--kernel", choices=("numpy", "numba", "auto"),
+                     default=None,
+                     help="compute backend for the hot search kernels "
+                     "(numba falls back to numpy with a warning when not "
+                     "installed; default: $PASE_KERNEL or numpy)")
 
 
 def _cmd_search(args: argparse.Namespace) -> int:
@@ -97,7 +103,7 @@ def _cmd_search(args: argparse.Namespace) -> int:
             else DEFAULT_MEMORY_BUDGET),
         cancellation=Cancellation(),
         journal=journal, jobs=args.jobs, cache=cache,
-        tracer=tracer, metrics=metrics)
+        tracer=tracer, metrics=metrics, kernel=args.kernel)
     try:
         with trap_signals(ctx.cancellation):
             outcome = execute_search(
@@ -199,16 +205,19 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .analysis.reporting import format_table_build_stats
 
     print(f"# {format_table_build_stats(setup.tables.build_stats)}")
+    from .core import kernels
+
     rows = []
     base = None
-    for method in args.methods:
-        strat = search_with(setup, method, seed=args.seed,
-                            reduce=args.reduce).strategy
-        rep = simulate_step(setup.graph, strat, machine, args.p,
-                            keep_trace=args.gantt)
-        if method == "data_parallel":
-            base = rep.throughput
-        rows.append((method, rep, strat))
+    with kernels.use(args.kernel):
+        for method in args.methods:
+            strat = search_with(setup, method, seed=args.seed,
+                                reduce=args.reduce).strategy
+            rep = simulate_step(setup.graph, strat, machine, args.p,
+                                keep_trace=args.gantt)
+            if method == "data_parallel":
+                base = rep.throughput
+            rows.append((method, rep, strat))
     print(f"# {args.model} p={args.p} machine={args.machine}")
     for method, rep, _ in rows:
         speed = f"  ({rep.throughput / base:.2f}x vs dp)" if base else ""
@@ -284,9 +293,12 @@ def _cmd_pipeline(args: argparse.Namespace) -> int:
         from .core.tablecache import TableCache
 
         cache = TableCache(args.table_cache)
-    res = pipeline_pase(graph, args.p, args.stages, machine=machine,
-                        mode=args.mode, jobs=args.jobs, cache=cache,
-                        reduce=args.reduce)
+    from .core import kernels
+
+    with kernels.use(args.kernel):
+        res = pipeline_pase(graph, args.p, args.stages, machine=machine,
+                            mode=args.mode, jobs=args.jobs, cache=cache,
+                            reduce=args.reduce)
     print(f"# {args.model} p={args.p} stages={args.stages} "
           f"({res.devices_per_stage} devices/stage)")
     for i, (stage, cost) in enumerate(zip(res.stages, res.stage_costs)):

@@ -15,6 +15,8 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
+from . import kernels
+
 __all__ = ["aligned_term", "chunked_min_argmin"]
 
 
@@ -99,14 +101,14 @@ def chunked_min_argmin(
     table_cells = int(np.prod(table_shape, dtype=np.int64)) if table_shape else 1
     chunk = max(1, min(cfg_count, chunk_cells // max(table_cells, 1)))
 
-    best = np.full(table_shape, np.inf, dtype=np.float64)
-    best_arg = np.zeros(table_shape, dtype=np.int32)
-    # One transient buffer reused across every chunk: the old path
-    # allocated a fresh array per term per chunk (`acc + view`), which on
-    # big tables spent more time in the allocator than in the adds.  Per
+    best: np.ndarray | None = None
+    best_arg: np.ndarray | None = None
+    # One transient buffer reused across every chunk *and* across calls
+    # (the per-vertex DP used to allocate up to chunk_cells of float64
+    # per vertex, spending more time page-faulting than adding).  Per
     # output cell the addition sequence ((t0 + t1) + t2)... is unchanged,
     # so results stay bit-identical.
-    buf = np.empty(table_shape + (chunk,), dtype=np.float64)
+    buf = kernels._WS.take("dp_acc", table_shape + (chunk,), np.float64)
     for c0 in range(0, cfg_count, chunk):
         if deadline is not None and time.perf_counter() > deadline:
             raise TimeoutError("chunked DP evaluation passed its deadline")
@@ -128,9 +130,20 @@ def chunked_min_argmin(
                 np.add(acc, view, out=acc)
         if first:
             acc.fill(0.0)
-        cand = acc.min(axis=-1)
-        arg = acc.argmin(axis=-1).astype(np.int32) + c0
-        better = cand < best
-        best = np.where(better, cand, best)
-        best_arg = np.where(better, arg, best_arg)
+        # Fused min/argmin: one argmin scan + a gather recovers the min
+        # (bit-identical to separate min + argmin, numpy tie-break).
+        cand, arg32 = kernels.last_axis_min_argmin(acc)
+        if best is None:
+            # Sole / first chunk: adopt directly (cand < inf everywhere;
+            # both outputs are fresh arrays, not workspace views).
+            best = cand
+            best_arg = arg32
+        else:
+            arg = arg32 + c0
+            better = cand < best
+            best = np.where(better, cand, best)
+            best_arg = np.where(better, arg, best_arg)
+    if best is None:  # pragma: no cover - cfg_count >= 1 always
+        best = np.full(table_shape, np.inf, dtype=np.float64)
+        best_arg = np.zeros(table_shape, dtype=np.int32)
     return best, best_arg

@@ -25,6 +25,7 @@ would be exceeded.
 from __future__ import annotations
 
 import contextlib
+import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Sequence
@@ -39,6 +40,7 @@ from .exceptions import SearchResourceError
 from .graph import CompGraph
 from .sequencer import SequencedGraph, generate_seq
 from .strategy import SearchResult, Strategy
+from . import kernels
 from ._tensorops import chunked_min_argmin
 
 __all__ = ["find_best_strategy", "dp_table_profile", "DEFAULT_MEMORY_BUDGET"]
@@ -51,6 +53,51 @@ DEFAULT_MEMORY_BUDGET = 2 << 30
 
 #: Max cells of the transient cost array per chunk (64 MiB of float64).
 DEFAULT_CHUNK_CELLS = 8_000_000
+
+#: Auto-bypass threshold for ``reduce=True``: the reduction runs only
+#: when the predicted plain-DP work (``Σ_i K_i·Π_{d∈D(i)} K_d`` cells,
+#: from `dp_table_profile`) exceeds this multiple of the cost tables'
+#: own cells (`CostTables.work_cells`).  Reduction reads every table
+#: cell a small number of times, so its wall-clock scales with the
+#: table mass; the DP's scales with the dependent-set blowup.  When the
+#: ratio is small the DP is already near its lower bound and reduction
+#: can only add time (AlexNet/RNNLM chains sit at ratio ~1 at every p;
+#: the branchy models pay off from ~10^2 up).  Both predictors are
+#: exact integers — the bypass decision is deterministic for a given
+#: problem, never a wall-clock race.
+DEFAULT_REDUCE_BYPASS_RATIO = 64.0
+
+#: Environment override for the auto-bypass ratio (a float; ``0``
+#: disables bypassing, i.e. ``reduce=True`` behaves like ``"always"``).
+REDUCE_BYPASS_ENV_VAR = "PASE_REDUCE_BYPASS_RATIO"
+
+
+def _resolve_reduce_mode(reduce: "bool | str") -> str:
+    """Normalize the ``reduce`` flag to ``"off"``/``"auto"``/``"always"``."""
+    if reduce is False or reduce is None:
+        return "off"
+    if reduce is True:
+        return "auto"
+    if reduce in ("off", "never", "auto", "always"):
+        return "off" if reduce == "never" else reduce
+    raise ValueError(
+        f"reduce must be a bool, 'auto', 'always', 'never' or 'off'; "
+        f"got {reduce!r}")
+
+
+def _bypass_ratio(override: float | None) -> float:
+    """Effective auto-bypass ratio: explicit kwarg > env var > default."""
+    if override is not None:
+        return float(override)
+    raw = os.environ.get(REDUCE_BYPASS_ENV_VAR)
+    if raw:
+        try:
+            return float(raw)
+        except ValueError:
+            raise ValueError(
+                f"{REDUCE_BYPASS_ENV_VAR} must be a float, got {raw!r}"
+            ) from None
+    return DEFAULT_REDUCE_BYPASS_RATIO
 
 
 @dataclass
@@ -72,7 +119,9 @@ def find_best_strategy(
     memory_budget: int = DEFAULT_MEMORY_BUDGET,
     chunk_cells: int = DEFAULT_CHUNK_CELLS,
     method_name: str = "pase-dp",
-    reduce: bool = False,
+    reduce: "bool | str" = False,
+    reduce_bypass_ratio: float | None = None,
+    kernel: str | None = None,
     ctx: "object | None" = None,
     checkpoint: Callable[..., None] | None = UNSET,
 ) -> SearchResult:
@@ -96,7 +145,25 @@ def find_best_strategy(
         pruning + chain contraction, `repro.core.reduction`) first, solve
         the reduced problem, and expand the optimum back to the original
         space.  The returned cost is re-evaluated on the original tables;
-        ``stats`` gains the ``reduction_*`` counters.
+        ``stats`` gains the ``reduction_*`` counters.  ``True`` (or
+        ``"auto"``) applies the work-ratio auto-bypass: when the
+        predicted plain-DP cells are below ``reduce_bypass_ratio`` times
+        `CostTables.work_cells` the reduction is skipped (it could only
+        add wall-clock) and the plain DP runs, with
+        ``stats["reduction_bypassed"] == 1.0``.  ``"always"`` disables
+        the bypass (tests pin reduction behavior with it); ``"never"``/
+        ``"off"`` are spellings of ``False``.
+    reduce_bypass_ratio:
+        Auto-bypass threshold override (see
+        `DEFAULT_REDUCE_BYPASS_RATIO`); falls back to the
+        ``PASE_REDUCE_BYPASS_RATIO`` environment variable, then the
+        default.  ``0`` makes ``"auto"`` behave like ``"always"``.
+    kernel:
+        Compute backend for the hot kernels for the duration of this
+        search: ``"numpy"`` (default), ``"numba"`` (compiled; falls back
+        to numpy with a logged warning when numba is missing), or
+        ``"auto"``.  ``None`` inherits the process-wide selection
+        (`repro.core.kernels.set_backend` / ``PASE_KERNEL``).
     ctx:
         A `repro.runtime.RunContext` supplying the cooperative
         checkpoint (composed from its budget/cancellation/journal) and
@@ -127,11 +194,13 @@ def find_best_strategy(
     if ctx is not None:
         checkpoint = ctx.make_checkpoint()
         observed = ctx.observe()
-    with observed:
+        if kernel is None:
+            kernel = getattr(ctx, "kernel", None)
+    with observed, kernels.use(kernel):
         return _find_best_strategy(
             graph, space, tables, order=order, memory_budget=memory_budget,
             chunk_cells=chunk_cells, method_name=method_name, reduce=reduce,
-            checkpoint=checkpoint)
+            reduce_bypass_ratio=reduce_bypass_ratio, checkpoint=checkpoint)
 
 
 def _find_best_strategy(
@@ -143,13 +212,32 @@ def _find_best_strategy(
     memory_budget: int,
     chunk_cells: int,
     method_name: str,
-    reduce: bool = False,
+    reduce: "bool | str" = False,
+    reduce_bypass_ratio: float | None = None,
     checkpoint: Callable[..., None] | None = None,
+    seq: SequencedGraph | None = None,
 ) -> SearchResult:
     """The implementation behind the public shim: legacy kwargs already
-    resolved, the observability pair taken from the ambient context."""
+    resolved, the observability pair taken from the ambient context.
+    ``seq`` short-circuits sequencing when the caller already built it
+    (the auto-bypass path predicts DP work from the sequenced graph and
+    hands it down, so a bypassed search pays only the predictor)."""
     t0 = time.perf_counter()
-    if reduce:
+    mode = _resolve_reduce_mode(reduce)
+    bypassed = False
+    if mode == "auto":
+        # Predict the plain DP's work from the sequenced graph.  Both
+        # sides of the comparison are exact integers, so the decision is
+        # deterministic for a given problem — never a wall-clock race.
+        seq = SequencedGraph.build(
+            graph, generate_seq(graph) if order is None else order)
+        ratio = _bypass_ratio(reduce_bypass_ratio)
+        predicted_dp_cells = sum(dp_table_profile(seq, space))
+        # When the DP is already near the tables' own size, reduction —
+        # which reads at least that many cells — can only add
+        # wall-clock.  Fall through to the plain DP, reusing ``seq``.
+        bypassed = predicted_dp_cells < ratio * tables.work_cells()
+    if mode != "off" and not bypassed:
         from .reduction import reduce_problem
 
         red = reduce_problem(graph, space, tables, checkpoint=checkpoint)
@@ -163,9 +251,10 @@ def _find_best_strategy(
             chunk_cells=chunk_cells, method_name=method_name,
             checkpoint=checkpoint)
         return red.expand_result(inner, elapsed=time.perf_counter() - t0)
-    if order is None:
-        order = generate_seq(graph)
-    seq = SequencedGraph.build(graph, order)
+    if seq is None:
+        if order is None:
+            order = generate_seq(graph)
+        seq = SequencedGraph.build(graph, order)
     n = len(seq)
     if n == 0:
         # Fully-contracted problems legitimately reach the DP with zero
@@ -173,6 +262,8 @@ def _find_best_strategy(
         # processing never special-cases the empty problem.
         stats = {"cells": 0.0, "peak_bytes": 0.0, "max_dependent": 0.0,
                  "k_max": 0.0, "vertices": 0.0}
+        if bypassed:
+            stats["reduction_bypassed"] = 1.0
         for key, val in tables.build_stats.items():
             stats[f"table_{key}"] = float(val)
         return SearchResult(Strategy({}), 0.0, time.perf_counter() - t0,
@@ -269,6 +360,10 @@ def _find_best_strategy(
         "k_max": float(space.max_size),
         "vertices": float(n),
     }
+    if bypassed:
+        # reduce="auto" decided the reduction could not pay for itself
+        # on this problem; the plain DP ran instead.
+        stats["reduction_bypassed"] = 1.0
     # Surface the table-construction phase (build seconds, cache hit,
     # worker count) alongside the DP's own counters.
     for key, val in tables.build_stats.items():

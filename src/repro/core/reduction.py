@@ -38,6 +38,16 @@ recorded axis, so at the end every axis is either in the dependency's
 final reduced space (if it survived) or in its own elimination-time space
 (if it was eliminated later — in which case expanding in reverse
 elimination order supplies exactly that index).
+
+Performance: the fixed point runs in **vectorized** form by default —
+the dominance keep-mask and the contraction fold dispatch through
+`repro.core.kernels` (last-axis contiguous reductions, candidate-pair
+gathers, optional numba backend), and a dirty-set worklist skips nodes
+whose cost profile is untouched since their last prune (re-pruning an
+unchanged profile provably keeps every row, so skipping is exact).  The
+pre-vectorization per-vertex code is retained verbatim behind
+``vectorized=False`` / :func:`dominance_keep_mask_reference` as the
+bit-identity oracle for the property tests.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ from typing import Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from . import kernels
 from .configs import ConfigSpace
 from .costmodel import CostTables, _canonical
 from .exceptions import StrategyError
@@ -56,7 +67,7 @@ from .graph import CompGraph
 from .strategy import SearchResult, Strategy
 
 __all__ = ["ReducedProblem", "ReducedGraphView", "reduce_problem",
-           "dominance_keep_mask"]
+           "dominance_keep_mask", "dominance_keep_mask_reference"]
 
 #: Transient-cell budget for the vectorized dominance comparison and the
 #: chain-contraction cube (keeps peak extra memory in the tens of MiB).
@@ -210,7 +221,22 @@ def dominance_keep_mask(profile: np.ndarray, *,
     "beats" relation is a strict partial order, so every dropped row has
     a surviving dominator and at least one optimum survives; the
     lexicographic tie-break makes row 0 survive any all-equal class.
+
+    Dispatches to `repro.core.kernels.dominance_mask`: one ``<=`` cube
+    over a seed block of columns (``>=`` is its transpose, never
+    materialized), then the surviving candidate pairs alone are checked
+    against the remaining columns via fancy-indexed gathers — with every
+    transient bounded by ``chunk_cells`` cells, including the ``K*C >
+    chunk_cells`` regime the pre-vectorization implementation silently
+    exceeded.  Bit-identical to :func:`dominance_keep_mask_reference`.
     """
+    return kernels.dominance_mask(profile, chunk_cells=chunk_cells)
+
+
+def dominance_keep_mask_reference(profile: np.ndarray, *,
+                                  chunk_cells: int = _REDUCTION_CHUNK_CELLS
+                                  ) -> np.ndarray:
+    """The pre-vectorization keep-mask, retained as the parity oracle."""
     prof = np.ascontiguousarray(profile, dtype=np.float64)
     k, c = prof.shape
     if k <= 1:
@@ -233,11 +259,23 @@ def dominance_keep_mask(profile: np.ndarray, *,
 # ---------------------------------------------------------------------------
 
 class _Reducer:
-    """Mutable reduction state iterated to a fixed point."""
+    """Mutable reduction state iterated to a fixed point.
+
+    ``vectorized`` selects the kernel-dispatched fast path plus the
+    dirty-set worklist; ``False`` replays the pre-vectorization
+    per-vertex code exactly (the parity oracle for the property tests).
+    Both paths visit nodes in the same order and produce bit-identical
+    ``lc``/``tx``/``sel``/``elims``/``base_cost``: the worklist only
+    skips prunes that provably keep every row (a node's survivors are
+    mutually non-dominated, so re-pruning an unchanged profile is a
+    no-op), and every kernel preserves scalar association and argmin
+    tie-break.
+    """
 
     def __init__(self, graph: CompGraph, space: ConfigSpace,
-                 tables: CostTables) -> None:
+                 tables: CostTables, *, vectorized: bool = True) -> None:
         self.space = space
+        self.vectorized = vectorized
         self.order = tuple(space.tables)  # deterministic node order
         self.lc: dict[str, np.ndarray] = {
             n: np.array(tables.lc[n], dtype=np.float64) for n in self.order}
@@ -253,6 +291,9 @@ class _Reducer:
         self.elims: list[_ElimRecord] = []
         self.base_cost = 0.0
         self.configs_removed = 0
+        #: Nodes whose profile (lc column or an incident tx matrix) may
+        #: have changed since their last dominance prune.
+        self.dirty: set[str] = set(self.order)
 
     # -- helpers -----------------------------------------------------------
 
@@ -282,13 +323,16 @@ class _Reducer:
 
     def prune_node(self, name: str) -> bool:
         """Dominance-prune one node's configurations; True if any dropped."""
+        self.dirty.discard(name)
         k = self.lc[name].shape[0]
         if k <= 1:
             return False
         cols = [self.lc[name][:, None]]
         for u in sorted(self.adj[name]):
             cols.append(self._mat(name, u))
-        keep = dominance_keep_mask(np.concatenate(cols, axis=1))
+        mask_fn = (dominance_keep_mask if self.vectorized
+                   else dominance_keep_mask_reference)
+        keep = mask_fn(np.concatenate(cols, axis=1))
         if keep.all():
             return False
         self.configs_removed += int(k - keep.sum())
@@ -296,6 +340,9 @@ class _Reducer:
         self.sel[name] = self.sel[name][keep]
         for u in self.adj[name]:
             self._set_mat(name, u, self._mat(name, u)[keep])
+            # u's profile lost columns -> previously-kept rows may now
+            # be dominated; revisit it.
+            self.dirty.add(u)
         self._slice_records(name, keep)
         return True
 
@@ -313,15 +360,27 @@ class _Reducer:
         elif len(nbrs) == 1:
             u = nbrs[0]
             prof = self._mat(u, name) + lc_w[None, :]        # [K_u, K_w]
-            table = prof.argmin(axis=1).astype(np.int32)
-            self.lc[u] = self.lc[u] + prof.min(axis=1)
+            if self.vectorized:
+                vals, table = kernels.last_axis_min_argmin(prof)
+            else:
+                table = prof.argmin(axis=1).astype(np.int32)
+                vals = prof.min(axis=1)
+            self.lc[u] = self.lc[u] + vals
             self._drop_pair(u, name)
             deps = (u,)
         else:
             u, v = nbrs
             mat_uw = self._mat(u, name)                      # [K_u, K_w]
             mat_wv = self._mat(name, v)                      # [K_w, K_v]
-            folded, table = _min_over_middle(lc_w, mat_uw, mat_wv)
+            if self.vectorized:
+                # Pre-fold lc[w] into the (w, v) side and transpose so the
+                # kernel reduces over the last, contiguous axis; the scalar
+                # association stays uw + (lc + wv), as in the reference.
+                bt = np.ascontiguousarray((lc_w[:, None] + mat_wv).T)
+                folded, table = kernels.min_plus_fold(
+                    mat_uw, bt, chunk_cells=_REDUCTION_CHUNK_CELLS)
+            else:
+                folded, table = _min_over_middle(lc_w, mat_uw, mat_wv)
             self._drop_pair(u, name)
             self._drop_pair(name, v)
             if v in self.adj[u]:
@@ -334,6 +393,10 @@ class _Reducer:
         self.elims.append(_ElimRecord(
             node=name, deps=deps, table=table, sel=self.sel[name].copy()))
         del self.lc[name], self.sel[name], self.adj[name]
+        self.dirty.discard(name)
+        for u in nbrs:
+            # The neighbor absorbed lc/edge mass; its profile changed.
+            self.dirty.add(u)
         return True
 
     # -- accounting --------------------------------------------------------
@@ -370,7 +433,7 @@ def _min_over_middle(lc_w: np.ndarray, mat_uw: np.ndarray,
 
 def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
                    *, dominance: bool = True, contraction: bool = True,
-                   max_rounds: int = 64,
+                   max_rounds: int = 64, vectorized: bool = True,
                    checkpoint: "Callable[..., None] | None" = None,
                    ctx: "object | None" = None,
                    ) -> ReducedProblem:
@@ -381,6 +444,8 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
     ``base_cost`` equals the original optimum, and
     :meth:`ReducedProblem.expand_indices` recovers a witnessing strategy.
     Runs *after* any table-cache lookup, so cached tables stay canonical.
+    ``vectorized=False`` replays the pre-kernel per-vertex implementation
+    (the parity oracle; bit-identical output, much slower).
     ``checkpoint`` (`repro.runtime.make_checkpoint`) is polled once per
     fixed-point round; it aborts by raising, always between rounds.  A
     `repro.runtime.RunContext` passed as ``ctx`` supplies the checkpoint
@@ -392,7 +457,7 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
         checkpoint = ctx.make_checkpoint()
     tracer = tracer_of(ctx)
     t0 = time.perf_counter()
-    red = _Reducer(graph, space, tables)
+    red = _Reducer(graph, space, tables, vectorized=vectorized)
     cells_before = red.work_cells()
     n_before = len(red.order)
 
@@ -407,6 +472,11 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
             with tracer.span("reduction.round", round=rounds):
                 if dominance:
                     for name in list(red.lc):
+                        if vectorized and name not in red.dirty:
+                            # Untouched since its last prune: survivors
+                            # are pairwise non-dominated, so re-pruning
+                            # keeps every row.  Skipping is exact.
+                            continue
                         changed |= red.prune_node(name)
                 if contraction:
                     for name in [n for n in red.order if n in red.lc]:
@@ -435,6 +505,7 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
         "reduction_cells_removed": float(cells_before - cells_after),
         "reduction_cells_before": float(cells_before),
         "reduction_cells_after": float(cells_after),
+        "reduction_bypassed": 0.0,
     }
     return ReducedProblem(
         graph=graph, space=space, tables=tables,

@@ -42,7 +42,10 @@ STATS_KEYS: dict[str, str] = {
 #: `repro.core.reduction.reduce_problem`.
 STATS_KEY_PREFIXES: dict[str, str] = {
     "table_": "cost-table construction telemetry (CostTables.build_stats)",
-    "reduction_": "search-space reduction counters (reduce_problem)",
+    "reduction_": ("search-space reduction counters (reduce_problem), plus "
+                   "reduction_bypassed: 1.0 when reduce='auto' skipped the "
+                   "reduction because the predicted plain-DP work was below "
+                   "the bypass ratio, 0.0 when the reduction ran"),
 }
 
 

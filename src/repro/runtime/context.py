@@ -57,6 +57,12 @@ class RunContext:
     jobs, cache:
         Table-construction parallelism and on-disk `TableCache`, as in
         `CostModel.build_tables`.
+    kernel:
+        Compute backend for the hot search kernels
+        (`repro.core.kernels`): ``"numpy"``, ``"numba"`` (graceful
+        numpy fallback when not installed), or ``"auto"``.  ``None``
+        inherits the process-wide selection (``--kernel`` /
+        ``PASE_KERNEL``).
     checkpoint:
         Explicit cooperative-poll callable overriding the one composed
         from ``budget``/``cancellation``/``journal`` — used by code that
@@ -71,6 +77,7 @@ class RunContext:
     metrics: "Metrics | None" = None
     jobs: int | None = None
     cache: object | None = None
+    kernel: str | None = None
     checkpoint: Callable[..., None] | None = None
 
     # -- derived accessors ---------------------------------------------------

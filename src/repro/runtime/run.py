@@ -45,6 +45,7 @@ from ..core.exceptions import (
     RunInterrupted,
     SearchResourceError,
 )
+from ..core import kernels
 from ..core.graph import CompGraph
 from ..core.machine import MachineSpec
 from ..core.strategy import SearchResult
@@ -58,7 +59,11 @@ __all__ = ["RunOutcome", "execute_search", "run_fingerprint"]
 
 #: Fingerprint schema version (bump when fields change — a resume across
 #: versions must fail loudly, not silently re-interpret old state).
-_FINGERPRINT_VERSION = 1
+#: v2: ``reduce`` became the resolved mode string ("off"/"auto"/
+#: "always") and ``reduce_bypass_ratio`` records the auto-bypass
+#: threshold — both can change which (equal-cost) strategy is returned,
+#: so resuming across them must not silently mix paths.
+_FINGERPRINT_VERSION = 2
 
 
 @dataclass
@@ -72,8 +77,8 @@ class RunOutcome:
 
 
 def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
-                    *, method: str, seed: int, reduce: bool, resilient: bool,
-                    memory_budget: int,
+                    *, method: str, seed: int, reduce: "bool | str",
+                    resilient: bool, memory_budget: int,
                     order: Sequence[str] | None) -> dict:
     """Canonical description of everything the run's *answer* depends on.
 
@@ -81,18 +86,25 @@ def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
     model) plus the search parameters.  Two runs with equal fingerprints
     return bit-identical results, which is exactly the property that
     makes journal resume sound.  Deliberately excludes budgets' wall
-    clocks and jobs/cache knobs — those change how fast the answer
-    arrives, not what it is.  The observability pair is excluded for the
-    same reason: tracing a run must never change what it computes.
+    clocks, jobs/cache knobs, and the kernel backend — those change how
+    fast the answer arrives, not what it is (backends are bit-identical
+    by construction, pinned by the kernel parity tests).  The
+    observability pair is excluded for the same reason: tracing a run
+    must never change what it computes.  The reduce *mode* and the
+    auto-bypass ratio are included: reduced and plain searches return
+    equal costs but may pick different equal-cost strategies.
     """
+    from ..core.dp import _bypass_ratio, _resolve_reduce_mode
     from ..core.tablecache import table_digest
 
+    mode = _resolve_reduce_mode(reduce)
     return {
         "version": _FINGERPRINT_VERSION,
         "tables_digest": table_digest(graph, space, model),
         "method": method,
         "seed": int(seed),
-        "reduce": bool(reduce),
+        "reduce": mode,
+        "reduce_bypass_ratio": _bypass_ratio(None) if mode == "auto" else None,
         "resilient": bool(resilient),
         "memory_budget": int(memory_budget),
         "order": None if order is None else list(order),
@@ -111,7 +123,7 @@ def execute_search(
     method: str = "ours",
     seed: int = 0,
     order: Sequence[str] | None = None,
-    reduce: bool = False,
+    reduce: "bool | str" = False,
     resilient: bool = False,
     ctx: RunContext | None = None,
     resume: bool = False,
@@ -192,8 +204,8 @@ def execute_search(
         resilient=resilient, memory_budget=run_budget.memory_budget,
         order=order)
 
-    with ctx.observe(), tracer.span(
-            "run", method=method, p=space.p, reduce=reduce,
+    with ctx.observe(), kernels.use(ctx.kernel), tracer.span(
+            "run", method=method, p=space.p, reduce=str(reduce),
             resilient=resilient, resume=resume) as run_span:
         if journal_obj is None:
             if resume:
@@ -314,13 +326,13 @@ def execute_search(
             raise
 
 
-def _reducing_search(reduce: bool):
+def _reducing_search(reduce: "bool | str"):
     """`find_best_strategy` with ``reduce`` pre-bound, for the ladder."""
     if not reduce:
         return find_best_strategy
     from functools import partial
 
-    return partial(find_best_strategy, reduce=True)
+    return partial(find_best_strategy, reduce=reduce)
 
 
 def _run_baseline(graph: CompGraph, space: ConfigSpace, tables: CostTables,

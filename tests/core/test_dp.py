@@ -195,3 +195,67 @@ class TestAgainstBaselines:
         for _ in range(5):
             idx = {n: rnd.randrange(space.size(n)) for n in graph.node_names}
             assert best.cost <= tables.strategy_cost(idx) + 1e-9
+
+
+class TestReduceAutoBypass:
+    """reduce=True is "auto": the reduction is skipped when the plain DP
+    is predicted to be cheaper than reading the tables even once."""
+
+    def test_tiny_problem_bypasses(self, diamond):
+        space, tables = setup(diamond)
+        plain = find_best_strategy(diamond, space, tables)
+        res = find_best_strategy(diamond, space, tables, reduce=True)
+        assert res.stats["reduction_bypassed"] == 1.0
+        assert "reduction_seconds" not in res.stats
+        assert not res.method.endswith("+reduce")
+        assert res.cost == plain.cost
+        assert res.strategy.assignment == plain.strategy.assignment
+
+    def test_always_never_bypasses(self, diamond):
+        space, tables = setup(diamond)
+        res = find_best_strategy(diamond, space, tables, reduce="always")
+        assert res.stats["reduction_bypassed"] == 0.0
+        assert "reduction_seconds" in res.stats
+        assert res.method.endswith("+reduce")
+
+    def test_ratio_zero_disables_bypass(self, diamond):
+        space, tables = setup(diamond)
+        res = find_best_strategy(diamond, space, tables, reduce=True,
+                                 reduce_bypass_ratio=0.0)
+        assert res.stats["reduction_bypassed"] == 0.0
+        assert res.method.endswith("+reduce")
+
+    def test_env_ratio_override(self, diamond, monkeypatch):
+        from repro.core.dp import REDUCE_BYPASS_ENV_VAR
+
+        space, tables = setup(diamond)
+        monkeypatch.setenv(REDUCE_BYPASS_ENV_VAR, "0")
+        forced = find_best_strategy(diamond, space, tables, reduce=True)
+        assert forced.stats["reduction_bypassed"] == 0.0
+        monkeypatch.setenv(REDUCE_BYPASS_ENV_VAR, "1e30")
+        skipped = find_best_strategy(diamond, space, tables, reduce=True)
+        assert skipped.stats["reduction_bypassed"] == 1.0
+        # The explicit kwarg wins over the env var.
+        forced = find_best_strategy(diamond, space, tables, reduce=True,
+                                    reduce_bypass_ratio=0.0)
+        assert forced.stats["reduction_bypassed"] == 0.0
+
+    def test_bad_env_ratio_raises(self, diamond, monkeypatch):
+        from repro.core.dp import REDUCE_BYPASS_ENV_VAR
+
+        space, tables = setup(diamond)
+        monkeypatch.setenv(REDUCE_BYPASS_ENV_VAR, "not-a-float")
+        with pytest.raises(ValueError, match=REDUCE_BYPASS_ENV_VAR):
+            find_best_strategy(diamond, space, tables, reduce=True)
+
+    def test_unknown_reduce_mode_rejected(self, diamond):
+        space, tables = setup(diamond)
+        with pytest.raises(ValueError, match="reduce"):
+            find_best_strategy(diamond, space, tables, reduce="sometimes")
+
+    def test_off_spellings_skip_reduction_entirely(self, diamond):
+        space, tables = setup(diamond)
+        for off in (False, "off", "never"):
+            res = find_best_strategy(diamond, space, tables, reduce=off)
+            assert "reduction_bypassed" not in res.stats
+            assert not res.method.endswith("+reduce")

@@ -1,0 +1,230 @@
+"""Tests for the pluggable kernel backends (`repro.core.kernels`).
+
+Two families:
+
+* registry semantics — selection precedence (explicit > ``PASE_KERNEL``
+  > numpy default), scoped overrides, unknown names, and the graceful
+  numba-missing fallback;
+* kernel correctness — the numpy implementations against naive numpy
+  oracles (including numpy's first-minimum argmin tie-break), plus
+  numpy-vs-numba bit-parity when numba is importable.
+"""
+
+import logging
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import kernels
+from repro.core.kernels import (
+    dominance_mask,
+    last_axis_min_argmin,
+    min_plus_fold,
+    numba_available,
+)
+
+needs_numba = pytest.mark.skipif(not numba_available(),
+                                 reason="numba not installed")
+
+
+@pytest.fixture(autouse=True)
+def _clean_selection(monkeypatch):
+    """Isolate each test from process-wide backend state."""
+    monkeypatch.delenv(kernels.KERNEL_ENV_VAR, raising=False)
+    monkeypatch.setattr(kernels, "_SELECTED", [None])
+    yield
+
+
+class TestBackendRegistry:
+    def test_default_is_numpy(self):
+        assert kernels.get_backend() == "numpy"
+
+    def test_env_var_consulted(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "numpy")
+        assert kernels.get_backend() == "numpy"
+
+    def test_explicit_selection_beats_env(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "numba")
+        kernels.set_backend("numpy")
+        assert kernels.get_backend() == "numpy"
+
+    def test_use_scopes_and_restores(self):
+        kernels.set_backend("numpy")
+        with kernels.use("auto"):
+            assert kernels.get_backend() in ("numpy", "numba")
+        assert kernels.get_backend() == "numpy"
+
+    def test_use_none_is_inert(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "numpy")
+        with kernels.use(None) as resolved:
+            assert resolved == "numpy"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.set_backend("cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.resolve_backend("tpu")
+
+    def test_bad_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(kernels.KERNEL_ENV_VAR, "fortran")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            kernels.get_backend()
+
+    def test_available_backends_always_has_numpy(self):
+        avail = kernels.available_backends()
+        assert "numpy" in avail
+        assert set(avail) <= {"numpy", "numba"}
+
+    def test_auto_resolves_to_something_concrete(self):
+        assert kernels.resolve_backend("auto") in ("numpy", "numba")
+
+    @pytest.mark.skipif(numba_available(), reason="numba is installed")
+    def test_numba_missing_falls_back_with_warning(self, monkeypatch, caplog):
+        monkeypatch.setattr(kernels, "_WARNED", [False])
+        with caplog.at_level(logging.WARNING, logger="repro.core.kernels"):
+            assert kernels.set_backend("numba") == "numpy"
+            a = np.array([[3.0, 1.0, 2.0]])
+            vals, args = last_axis_min_argmin(a)
+        assert vals.tolist() == [1.0] and args.tolist() == [1]
+        assert any("falling back" in rec.message for rec in caplog.records)
+        # ... and the warning fires once, not per kernel call.
+        n_warnings = len(caplog.records)
+        with caplog.at_level(logging.WARNING, logger="repro.core.kernels"):
+            last_axis_min_argmin(a)
+        assert len(caplog.records) == n_warnings
+
+
+class TestLastAxisMinArgmin:
+    def test_matches_naive(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(size=(5, 7, 11))
+        vals, args = last_axis_min_argmin(a)
+        assert np.array_equal(vals, a.min(-1))
+        assert np.array_equal(args, a.argmin(-1))
+        assert args.dtype == np.int32
+
+    def test_first_minimum_tie_break(self):
+        a = np.array([[2.0, 1.0, 1.0], [0.0, 0.0, 0.0]])
+        _, args = last_axis_min_argmin(a)
+        assert args.tolist() == [1, 0]
+
+    def test_empty_last_axis_rejected(self):
+        with pytest.raises(ValueError, match="empty last axis"):
+            last_axis_min_argmin(np.empty((3, 0)))
+
+
+class TestMinPlusFold:
+    @staticmethod
+    def _naive(a, bt):
+        cube = a[:, None, :] + bt[None, :, :]
+        return cube.min(-1), cube.argmin(-1)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 9), st.integers(1, 9),
+           st.integers(1, 9))
+    def test_matches_naive(self, seed, m, n, k):
+        rng = np.random.default_rng(seed)
+        # Small integer costs force ties, pinning the argmin order.
+        a = rng.integers(0, 4, size=(m, k)).astype(float)
+        bt = rng.integers(0, 4, size=(n, k)).astype(float)
+        folded, arg = min_plus_fold(a, bt, chunk_cells=10**9)
+        nf, na = self._naive(a, bt)
+        assert np.array_equal(folded, nf)
+        assert np.array_equal(arg, na)
+
+    @pytest.mark.parametrize("chunk", [1, 13, 10**9])
+    def test_chunking_invariant(self, chunk):
+        rng = np.random.default_rng(3)
+        a = rng.normal(size=(17, 6))
+        bt = rng.normal(size=(9, 6))
+        folded, arg = min_plus_fold(a, bt, chunk_cells=chunk)
+        nf, na = self._naive(a, bt)
+        assert np.array_equal(folded, nf)
+        assert np.array_equal(arg, na)
+
+    def test_k1_fast_path(self):
+        a = np.array([[1.0], [2.0]])
+        bt = np.array([[10.0], [20.0], [30.0]])
+        folded, arg = min_plus_fold(a, bt, chunk_cells=10**9)
+        assert np.array_equal(folded, a + bt.T)
+        assert not arg.any()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="inner axes"):
+            min_plus_fold(np.zeros((2, 3)), np.zeros((2, 4)),
+                          chunk_cells=10**9)
+
+
+class TestDominanceMaskKernel:
+    @staticmethod
+    def _naive(prof):
+        k = prof.shape[0]
+        keep = np.ones(k, dtype=bool)
+        for j in range(k):
+            for i in range(k):
+                if i == j:
+                    continue
+                le = (prof[i] <= prof[j]).all()
+                ge = (prof[i] >= prof[j]).all()
+                if le and ((not ge) or i < j):
+                    keep[j] = False
+                    break
+        return keep
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 30), st.integers(1, 7),
+           st.integers(1, 4))
+    def test_matches_naive(self, seed, k, c, levels):
+        rng = np.random.default_rng(seed)
+        prof = rng.integers(0, levels, size=(k, c)).astype(float)
+        assert np.array_equal(
+            dominance_mask(prof, chunk_cells=10**9), self._naive(prof))
+
+    @pytest.mark.parametrize("chunk", [1, 5, 10**9])
+    def test_tiny_chunk_budget(self, chunk):
+        """The pair-verification loop must survive a budget smaller than
+        one pair-column gather (span clamps to 1)."""
+        rng = np.random.default_rng(11)
+        prof = rng.integers(0, 3, size=(25, 9)).astype(float)
+        assert np.array_equal(dominance_mask(prof, chunk_cells=chunk),
+                              self._naive(prof))
+
+    def test_wide_profile_exceeding_chunk(self):
+        """K*C far beyond chunk_cells — the regime the reference kernel
+        silently exceeded — still returns the exact mask."""
+        rng = np.random.default_rng(13)
+        prof = rng.integers(0, 2, size=(64, 200)).astype(float)
+        assert np.array_equal(dominance_mask(prof, chunk_cells=512),
+                              self._naive(prof))
+
+
+@needs_numba
+class TestNumbaParity:
+    """Bit-parity of the compiled kernels against numpy, on tie-dense
+    integer data (runs only where numba is importable)."""
+
+    def test_last_axis_parity(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=(40, 17)).astype(float)
+        v_np, a_np = last_axis_min_argmin(a, backend="numpy")
+        v_nb, a_nb = last_axis_min_argmin(a, backend="numba")
+        assert np.array_equal(v_np, v_nb)
+        assert np.array_equal(a_np, a_nb)
+
+    def test_min_plus_parity(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 4, size=(19, 8)).astype(float)
+        bt = rng.integers(0, 4, size=(13, 8)).astype(float)
+        f_np, g_np = min_plus_fold(a, bt, chunk_cells=64, backend="numpy")
+        f_nb, g_nb = min_plus_fold(a, bt, chunk_cells=64, backend="numba")
+        assert np.array_equal(f_np, f_nb)
+        assert np.array_equal(g_np, g_nb)
+
+    def test_dominance_parity(self):
+        rng = np.random.default_rng(2)
+        prof = rng.integers(0, 3, size=(50, 6)).astype(float)
+        k_np = dominance_mask(prof, chunk_cells=10**9, backend="numpy")
+        k_nb = dominance_mask(prof, chunk_cells=10**9, backend="numba")
+        assert np.array_equal(k_np, k_nb)

@@ -15,6 +15,7 @@ from repro.core.naive import brute_force_strategy
 from repro.core.reduction import (
     ReducedGraphView,
     dominance_keep_mask,
+    dominance_keep_mask_reference,
     reduce_problem,
 )
 from tests.conftest import build_dag, small_dags
@@ -113,7 +114,7 @@ class TestChainContraction:
         the same reduced edge, not lose one."""
         space, tables = _tables(diamond, 4)
         red = reduce_problem(diamond, space, tables, dominance=False)
-        res = find_best_strategy(diamond, space, tables, reduce=True)
+        res = find_best_strategy(diamond, space, tables, reduce="always")
         truth = brute_force_strategy(diamond, space, tables)
         assert math.isclose(res.cost, truth.cost, rel_tol=1e-9)
         assert red.stats["reduction_vertices_removed"] >= 2.0
@@ -149,7 +150,7 @@ class TestReducedDPExactness:
         g = build_dag(8, [(0, 4), (2, 6), (3, 7)], param_mask=0b1010)
         space, tables = _tables(g, p, mode="pow2")
         plain = find_best_strategy(g, space, tables)
-        red = find_best_strategy(g, space, tables, reduce=True)
+        red = find_best_strategy(g, space, tables, reduce="always")
         red.strategy.validate(g, p)
         assert red.strategy.cost(tables) == plain.strategy.cost(tables)
         assert red.method.endswith("+reduce")
@@ -162,7 +163,7 @@ class TestReducedDPExactness:
         exhaustive-search optimum exactly."""
         space, tables = _tables(graph, p)
         truth = brute_force_strategy(graph, space, tables)
-        red = find_best_strategy(graph, space, tables, reduce=True)
+        red = find_best_strategy(graph, space, tables, reduce="always")
         assert math.isclose(red.cost, truth.cost, rel_tol=1e-9, abs_tol=1e-9)
         red.strategy.validate(graph, p)
         assert math.isclose(red.strategy.cost(tables), truth.cost,
@@ -186,3 +187,88 @@ class TestReducedDPExactness:
                 assert math.isclose(res_cost, truth.cost, rel_tol=1e-9)
                 continue
             assert math.isclose(res.cost, truth.cost, rel_tol=1e-9)
+
+
+class TestDominanceMaskParity:
+    """The kernel-dispatched keep-mask must match the retained reference
+    bit for bit — same drops, same tie-breaks, any chunking."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 40), st.integers(1, 8),
+           st.integers(1, 5))
+    def test_matches_reference_on_random_profiles(self, seed, k, c, levels):
+        rng = np.random.default_rng(seed)
+        # Few distinct levels -> dense ties and dominations, the regime
+        # where tie-break bugs surface.
+        prof = rng.integers(0, levels, size=(k, c)).astype(float)
+        assert np.array_equal(dominance_keep_mask(prof),
+                              dominance_keep_mask_reference(prof))
+
+    @pytest.mark.parametrize("chunk", [1, 7, 10**9])
+    def test_chunked_matches_reference(self, chunk):
+        rng = np.random.default_rng(7)
+        prof = rng.integers(0, 3, size=(60, 6)).astype(float)
+        assert np.array_equal(
+            dominance_keep_mask(prof, chunk_cells=chunk),
+            dominance_keep_mask_reference(prof))
+
+
+def _assert_reductions_identical(fast, ref):
+    """Bit-identity between a vectorized and a reference reduction."""
+    assert fast.base_cost == ref.base_cost
+    assert fast.survivors == ref.survivors
+    assert fast.stats["reduction_rounds"] == ref.stats["reduction_rounds"]
+    assert fast.stats["reduction_configs_removed"] == \
+        ref.stats["reduction_configs_removed"]
+    for name in fast.survivors:
+        assert np.array_equal(fast.config_maps[name], ref.config_maps[name])
+        assert np.array_equal(fast.reduced_tables.lc[name],
+                              ref.reduced_tables.lc[name])
+    assert set(fast.reduced_tables.pair_tx) == set(ref.reduced_tables.pair_tx)
+    for key in fast.reduced_tables.pair_tx:
+        assert np.array_equal(fast.reduced_tables.pair_tx[key],
+                              ref.reduced_tables.pair_tx[key])
+    assert len(fast.elims) == len(ref.elims)
+    for ra, rb in zip(fast.elims, ref.elims):
+        assert ra.node == rb.node
+        assert ra.deps == rb.deps
+        assert np.array_equal(ra.table, rb.table)
+        assert np.array_equal(ra.sel, rb.sel)
+
+
+class TestVectorizedParity:
+    """The vectorized fixed point (kernels + dirty-set worklist) must
+    reproduce the pre-vectorization reference exactly: same elimination
+    order and argmin tables, same surviving selections, same folded
+    constant, bit-identical reduced tables."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(small_dags(max_nodes=6), st.integers(2, 4))
+    def test_random_graphs(self, graph, p):
+        space, tables = _tables(graph, p)
+        fast = reduce_problem(graph, space, tables, vectorized=True)
+        ref = reduce_problem(graph, space, tables, vectorized=False)
+        _assert_reductions_identical(fast, ref)
+
+    @settings(max_examples=10, deadline=None)
+    @given(small_dags(max_nodes=5), st.integers(2, 3))
+    def test_random_graphs_single_rule(self, graph, p):
+        space, tables = _tables(graph, p)
+        for kwargs in ({"contraction": False}, {"dominance": False}):
+            fast = reduce_problem(graph, space, tables, vectorized=True,
+                                  **kwargs)
+            ref = reduce_problem(graph, space, tables, vectorized=False,
+                                 **kwargs)
+            _assert_reductions_identical(fast, ref)
+
+    @pytest.mark.parametrize(
+        "net", ["alexnet", "inception_v3", "rnnlm", "transformer"])
+    def test_bundled_models(self, net):
+        from repro.models import BENCHMARKS
+
+        graph = BENCHMARKS[net]()
+        space = ConfigSpace.build(graph, 8, mode="pow2")
+        tables = CostModel(GTX1080TI).build_tables(graph, space)
+        fast = reduce_problem(graph, space, tables, vectorized=True)
+        ref = reduce_problem(graph, space, tables, vectorized=False)
+        _assert_reductions_identical(fast, ref)

@@ -81,9 +81,15 @@ class TestCleanRun:
     def test_reduce_flag_threads_through(self):
         graph, space = make_problem()
         plain = execute_search(graph, space, GTX1080TI).result
-        reduced = execute_search(graph, space, GTX1080TI, reduce=True).result
+        # reduce="always" forces the reduction; plain reduce=True (auto)
+        # bypasses it on a problem this small.
+        reduced = execute_search(graph, space, GTX1080TI,
+                                 reduce="always").result
         assert reduced.cost == pytest.approx(plain.cost)
         assert "reduction_seconds" in reduced.stats
+        auto = execute_search(graph, space, GTX1080TI, reduce=True).result
+        assert auto.cost == pytest.approx(plain.cost)
+        assert auto.stats["reduction_bypassed"] == 1.0
 
     def test_requires_machine_or_model(self):
         graph, space = make_problem()
