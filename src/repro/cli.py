@@ -35,10 +35,33 @@ def _add_common(sub: argparse.ArgumentParser) -> None:
                      default="pow2", help="configuration enumeration mode")
 
 
+def _jobs_arg(value: str):
+    """``--jobs`` accepts a worker count or a backend spelling.
+
+    Plain integers keep the historical meaning (auto backend selection,
+    0 = all cores); strings like ``serial``, ``threads:4``,
+    ``processes:2``, or ``auto`` force a specific backend.
+    """
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    from .core.costmodel import _parse_jobs
+
+    try:
+        _parse_jobs(value)
+    except ValueError as err:
+        raise argparse.ArgumentTypeError(str(err)) from None
+    return value
+
+
 def _add_table_opts(sub: argparse.ArgumentParser) -> None:
-    sub.add_argument("--jobs", type=int, default=None, metavar="N",
-                     help="worker processes for cost-table construction "
-                     "(0 = all cores; default: serial)")
+    sub.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N",
+                     help="cost-table construction parallelism: a worker "
+                     "count (0 = all cores, backend auto-selected from "
+                     "the measured work) or an explicit backend spelling "
+                     "like 'serial', 'threads:4', 'processes:2' "
+                     "(default: serial)")
     sub.add_argument("--table-cache", metavar="DIR", default=None,
                      help="cache precomputed cost tables under DIR "
                      "(content-addressed; reused across runs)")
@@ -175,9 +198,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         spec, args.fleet_dir, workers=args.workers,
         max_attempts=args.max_retries + 1,
         task_deadline=args.task_deadline,
-        straggler_after=args.straggler_after, ctx=ctx)
+        straggler_after=args.straggler_after, ctx=ctx, pool=args.pool)
     print(f"# sweep: {n_tasks} tasks from {args.spec} -> {args.fleet_dir} "
-          f"({args.workers} workers)")
+          f"({args.workers} workers, {supervisor.pool} pool)")
     try:
         with trap_signals(ctx.cancellation):
             report = supervisor.run(resume=args.resume)
@@ -394,6 +417,11 @@ def main(argv: Sequence[str] | None = None) -> int:
                          "results.jsonl + summary.json")
     p_sweep.add_argument("--workers", type=int, default=4, metavar="N",
                          help="concurrent worker processes (default 4)")
+    p_sweep.add_argument("--pool", choices=("spawn", "persistent"),
+                         default=None,
+                         help="worker management: 'persistent' (default) "
+                         "reuses pre-forked processes across tasks; "
+                         "'spawn' forks one process per task attempt")
     p_sweep.add_argument("--resume", action="store_true",
                          help="resume an interrupted sweep from "
                          "--fleet-dir: completed tasks are replayed, "

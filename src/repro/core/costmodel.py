@@ -46,12 +46,28 @@ from .machine import MachineSpec
 from .tensors import DTYPE_BYTES, TensorSpec
 
 __all__ = ["CostModel", "CostTables", "allreduce_bytes",
-           "PARALLEL_THRESHOLD_CELLS"]
+           "PARALLEL_THRESHOLD_CELLS", "PROCESS_MIN_RESULT_BYTES",
+           "BACKEND_CODES"]
 
-#: Minimum total table cells (Σ_v K_v + Σ_e K_u·K_v) before a requested
-#: process pool is actually used; below it fork/pickle overhead dominates
-#: and construction stays serial.
+#: Minimum total table cells (Σ_v K_v + Σ_e K_u·K_v) before ``jobs=``
+#: auto-selection considers any parallel backend; below it task-dispatch
+#: overhead dominates and construction stays serial.
 PARALLEL_THRESHOLD_CELLS = 200_000
+
+#: Minimum *result payload* (``work_cells * 8`` bytes of float64) before
+#: auto-selection picks the process backend over threads.  Below it the
+#: per-worker fork cost is larger than any GIL contention the thread
+#: backend suffers (the matrix kernels are vectorized numpy, which
+#: releases the GIL for the heavy work); above it process-private
+#: interpreters win and the shared-memory arena makes result shipping a
+#: plain memcpy.  This is the result-bytes half of the decision the old
+#: cells-only ``PARALLEL_THRESHOLD_CELLS`` test miscalibrated.
+PROCESS_MIN_RESULT_BYTES = 64 * 1024 * 1024
+
+#: Backend names -> the numeric code recorded in ``build_stats``
+#: (every stats value must be a float; the string name lives on
+#: ``CostTables.backend``).
+BACKEND_CODES = {"serial": 0.0, "threads": 1.0, "processes": 2.0}
 
 #: Extra parallel attempts after a pool failure before the serial
 #: fallback, and the backoff slept before each retry.
@@ -86,29 +102,98 @@ def _interruptible_sleep(seconds: float,
 
 # Per-worker state installed by the pool initializer (inherited cheaply on
 # fork, re-pickled once per worker on spawn) so tasks only ship indices.
+# When a shared-memory arena is active the worker also holds its mapping
+# and ships back *nothing* — the matrix is written in place.
 _WORKER: dict[str, object] = {}
 
 
-def _init_worker(model: "CostModel", graph: CompGraph, space: ConfigSpace) -> None:
+def _init_worker(model: "CostModel", graph: CompGraph, space: ConfigSpace,
+                 arena_name: str | None = None,
+                 arena_manifest: dict | None = None) -> None:
     _WORKER["model"] = model
     _WORKER["graph"] = graph
     _WORKER["space"] = space
+    _WORKER.pop("arena", None)
+    if arena_name is not None:
+        from .shm import ShmArena
+
+        _WORKER["arena"] = ShmArena.attach(arena_name, arena_manifest)
 
 
-def _node_task(name: str) -> tuple[str, np.ndarray]:
+def _node_task(name: str) -> tuple[str, np.ndarray | None]:
     model: CostModel = _WORKER["model"]          # type: ignore[assignment]
     graph: CompGraph = _WORKER["graph"]          # type: ignore[assignment]
     space: ConfigSpace = _WORKER["space"]        # type: ignore[assignment]
-    return name, model.layer_cost(graph.node(name), space.configs(name))
+    out = model.layer_cost(graph.node(name), space.configs(name))
+    arena = _WORKER.get("arena")
+    if arena is not None:
+        arena.write(("lc", name), out)           # type: ignore[attr-defined]
+        return name, None
+    return name, out
 
 
-def _edge_task(index: int) -> tuple[int, np.ndarray]:
+def _edge_task(index: int) -> tuple[int, np.ndarray | None]:
     model: CostModel = _WORKER["model"]          # type: ignore[assignment]
     graph: CompGraph = _WORKER["graph"]          # type: ignore[assignment]
     space: ConfigSpace = _WORKER["space"]        # type: ignore[assignment]
     e = graph.edges[index]
-    return index, model.edge_bytes_matrix(
+    out = model.edge_bytes_matrix(
         graph, e, space.configs(e.src), space.configs(e.dst))
+    arena = _WORKER.get("arena")
+    if arena is not None:
+        arena.write(("tx", index), out)          # type: ignore[attr-defined]
+        return index, None
+    return index, out
+
+
+def _parse_jobs(jobs: int | str | None) -> tuple[str, int]:
+    """Normalize every ``jobs=`` spelling to ``(mode, requested_workers)``.
+
+    Accepted spellings:
+
+    * ``None`` — serial (the default);
+    * ``int n`` — auto-select a backend with at most ``n`` workers
+      (``0`` = all cores; negative is an error);
+    * ``"serial"`` — force the single-process reference path;
+    * ``"auto"`` / ``"auto:N"`` — explicit auto-selection;
+    * ``"threads"`` / ``"threads:N"`` — force the thread backend;
+    * ``"processes"`` / ``"processes:N"`` — force the shared-memory
+      process backend (used by tests/benchmarks to exercise the pool
+      even where auto-selection would stay serial).
+
+    An omitted or zero count means "all cores".
+    """
+    if jobs is None:
+        return "serial", 1
+    if isinstance(jobs, int) and not isinstance(jobs, bool):
+        if jobs < 0:
+            raise ValueError(f"jobs={jobs} must be >= 0 (0 = all cores)")
+        return "auto", (jobs or (os.cpu_count() or 1))
+    if isinstance(jobs, str):
+        spec = jobs.strip().lower()
+        mode, _, count = spec.partition(":")
+        if mode not in ("serial", "auto", "threads", "processes"):
+            raise ValueError(
+                f"jobs={jobs!r}: expected an int, 'serial', or "
+                "'auto'/'threads'/'processes' with an optional ':N' count")
+        if mode == "serial":
+            if count:
+                raise ValueError(f"jobs={jobs!r}: 'serial' takes no count")
+            return "serial", 1
+        if count:
+            try:
+                n = int(count)
+            except ValueError:
+                raise ValueError(
+                    f"jobs={jobs!r}: worker count must be an integer") \
+                    from None
+            if n < 0:
+                raise ValueError(f"jobs={jobs!r}: worker count must be >= 0")
+        else:
+            n = 0
+        return mode, (n or (os.cpu_count() or 1))
+    raise ValueError(f"jobs={jobs!r}: expected None, an int, or a "
+                     "'serial'/'auto'/'threads'/'processes[:N]' string")
 
 
 def allreduce_bytes(volume_bytes, group_size):
@@ -274,21 +359,57 @@ class CostModel:
         cells += sum(space.size(e.src) * space.size(e.dst) for e in graph.edges)
         return int(cells)
 
-    def _resolve_jobs(self, jobs: int | None, work_cells: int,
-                      n_tasks: int) -> int:
-        """Worker-process count actually used (1 == stay serial)."""
-        if jobs is None:
-            return 1
-        if jobs < 0:
-            raise ValueError(f"jobs={jobs} must be >= 0 (0 = all cores)")
-        workers = jobs if jobs else (os.cpu_count() or 1)
+    def _resolve_backend(self, jobs: int | str | None, work_cells: int,
+                         n_tasks: int) -> tuple[str, int]:
+        """Pick ``(backend, workers)`` for one build.
+
+        Forced spellings (``"threads[:N]"`` / ``"processes[:N]"``) are
+        honored as long as there is more than one task to fan out —
+        regardless of core count, so tests can exercise the pool paths
+        on single-core machines.  ``"auto"`` (and plain integers) apply
+        the calibrated rule:
+
+        * serial when fewer than `PARALLEL_THRESHOLD_CELLS` table cells
+          or fewer than two usable workers (``min(requested, cores,
+          tasks)``) — dispatch overhead dominates;
+        * processes when the result payload (``work_cells * 8`` bytes)
+          reaches `PROCESS_MIN_RESULT_BYTES` — enough work to amortize
+          per-worker forks, with the shm arena making result shipping a
+          memcpy;
+        * threads otherwise — the vectorized kernels release the GIL,
+          and threads pay neither fork nor any result copy.
+        """
+        mode, requested = _parse_jobs(jobs)
+        cap = max(n_tasks, 1)
+        if mode == "serial":
+            return "serial", 1
+        if mode in ("threads", "processes"):
+            workers = min(requested, cap)
+            return (mode, workers) if workers > 1 else ("serial", 1)
+        workers = min(requested, os.cpu_count() or 1, cap)
         if workers <= 1 or work_cells < PARALLEL_THRESHOLD_CELLS:
-            return 1
-        return min(workers, max(n_tasks, 1))
+            return "serial", 1
+        if work_cells * 8 >= PROCESS_MIN_RESULT_BYTES:
+            return "processes", workers
+        return "threads", workers
+
+    def _arena_plan(self, graph: CompGraph, space: ConfigSpace) -> dict:
+        """Shared-memory layout for one build: every table array's slot.
+
+        Planned entirely from the configuration space — no cost needs to
+        be computed to size the arena.
+        """
+        plan: dict = {}
+        for op in graph:
+            plan[("lc", op.name)] = ((space.size(op.name),), np.float64)
+        for i, e in enumerate(graph.edges):
+            plan[("tx", i)] = ((space.size(e.src), space.size(e.dst)),
+                               np.float64)
+        return plan
 
     def build_tables(self, graph: CompGraph, space: ConfigSpace, *,
                      ctx: "object | None" = None,
-                     jobs: int | None = UNSET,
+                     jobs: int | str | None = UNSET,
                      cache: "object | None" = UNSET,
                      checkpoint: Callable[..., None] | None = UNSET,
                      ) -> "CostTables":
@@ -304,18 +425,23 @@ class CostModel:
             behaviour, `DeprecationWarning`); mixing them with ``ctx=``
             is an error.
         jobs:
-            Worker processes for the per-node / per-edge matrix
-            construction.  ``None`` (default) stays serial, ``0`` uses all
-            cores, ``n >= 2`` uses at most ``n``.  Small problems (fewer
-            than `PARALLEL_THRESHOLD_CELLS` total table cells) stay serial
-            regardless — fork/pickle overhead would dominate.  The result
-            is bit-identical to the serial path: workers compute exactly
-            the arrays the serial loop would, and the parent accumulates
-            them in the serial iteration order.  A broken pool (worker
-            killed, fork failure) is retried `PARALLEL_BUILD_RETRIES`
-            times with backoff and then *degrades* to the serial path —
-            still bit-identical, recorded in ``build_stats["degraded"]``
-            — instead of crashing the run.
+            Parallelism for the per-node / per-edge matrix construction.
+            ``None`` (default) stays serial; an int ``n`` auto-selects a
+            backend with at most ``n`` workers (``0`` = all cores); the
+            string spellings ``"serial"``, ``"auto[:N]"``,
+            ``"threads[:N]"``, and ``"processes[:N]"`` force a backend
+            (see `_resolve_backend` for the auto rule, which weighs
+            measured work cells *and* estimated result bytes).  The
+            process backend writes its matrices into a
+            `repro.core.shm.ShmArena` — workers ship offsets, not
+            pickles.  Every backend is bit-identical to the serial path:
+            workers compute exactly the arrays the serial loop would,
+            and the parent accumulates them in the serial iteration
+            order.  A broken pool (worker killed, fork failure, shm
+            exhaustion) is retried `PARALLEL_BUILD_RETRIES` times with
+            backoff and then *degrades* to the serial path — still
+            bit-identical, recorded in ``build_stats["degraded"]`` —
+            instead of crashing the run.
         cache:
             Optional `repro.core.tablecache.TableCache`.  On a digest hit
             the stored arrays are loaded and no matrix is constructed; on
@@ -358,6 +484,7 @@ class CostModel:
             stats = tables.build_stats
             span.set(cache_hit=bool(stats["cache_hit"]),
                      jobs=int(stats["jobs"]),
+                     backend=tables.backend,
                      degraded=bool(stats["degraded"]),
                      seconds_build=stats["build_seconds"])
         if stats["cache_hit"]:
@@ -377,10 +504,15 @@ class CostModel:
             metrics.counter("table_pool_retries_total",
                             "parallel table-build pool retries").inc(
                                 stats["parallel_retries"])
+            if stats.get("shm_bytes"):
+                metrics.gauge(
+                    "table_shm_bytes",
+                    "shared-memory arena bytes of the last parallel "
+                    "table build").set(stats["shm_bytes"])
         return tables
 
     def _build_tables_inner(self, graph: CompGraph, space: ConfigSpace,
-                            jobs: int | None, cache: "object | None",
+                            jobs: int | str | None, cache: "object | None",
                             checkpoint: Callable[..., None] | None,
                             work_cells: int, t0: float) -> "CostTables":
         digest = None
@@ -395,17 +527,26 @@ class CostModel:
                     "cache_hit": 1.0,
                     "jobs": 1.0,
                     "cells": float(work_cells),
+                    "result_bytes": float(work_cells * 8),
+                    "backend": BACKEND_CODES["serial"],
+                    "shm_bytes": 0.0,
                     "degraded": 0.0,
                     "parallel_retries": 0.0,
                 }
                 return hit
         n_tasks = len(graph) + len(graph.edges)
-        workers = self._resolve_jobs(jobs, work_cells, n_tasks)
+        backend, workers = self._resolve_backend(jobs, work_cells, n_tasks)
         retries = 0
         degraded_reason = None
-        if workers > 1:
+        shm_bytes = 0
+        if backend == "processes":
+            from .shm import plan_nbytes
+
+            shm_bytes = plan_nbytes(self._arena_plan(graph, space))
+        if backend != "serial":
             lc, edge_mats, retries, degraded_reason = \
-                self._build_arrays_hardened(graph, space, workers, checkpoint)
+                self._build_arrays_hardened(graph, space, backend, workers,
+                                            checkpoint)
         else:
             lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
         pair_tx: dict[tuple[str, str], np.ndarray] = {}
@@ -420,11 +561,17 @@ class CostModel:
                 pair_tx[key] = mat
         tables = CostTables(graph=graph, space=space, machine=self.machine,
                             lc=lc, pair_tx=pair_tx)
+        if degraded_reason is not None:
+            backend, workers, shm_bytes = "serial", 1, 0
+        tables.backend = backend
         tables.build_stats = {
             "build_seconds": time.perf_counter() - t0,
             "cache_hit": 0.0,
-            "jobs": 1.0 if degraded_reason is not None else float(workers),
+            "jobs": float(workers),
             "cells": float(work_cells),
+            "result_bytes": float(work_cells * 8),
+            "backend": BACKEND_CODES[backend],
+            "shm_bytes": float(shm_bytes),
             "degraded": 0.0 if degraded_reason is None else 1.0,
             "parallel_retries": float(retries),
         }
@@ -459,16 +606,16 @@ class CostModel:
         return lc, edge_mats
 
     def _build_arrays_hardened(
-            self, graph: CompGraph, space: ConfigSpace, workers: int,
-            checkpoint: Callable[..., None] | None = None,
+            self, graph: CompGraph, space: ConfigSpace, backend: str,
+            workers: int, checkpoint: Callable[..., None] | None = None,
     ) -> tuple[dict[str, np.ndarray], list[np.ndarray], int, str | None]:
         """Parallel build with retry-then-serial degradation.
 
         A dead worker (OOM-killed, segfaulted, SIGKILLed) surfaces as
         `BrokenProcessPool`; pool setup itself can raise `OSError`
-        (fork/pipe exhaustion).  Both are retried with backoff, then the
-        bit-identical serial path takes over.  Returns ``(lc, edge_mats,
-        retries_used, degraded_reason)``.
+        (fork/pipe/shm exhaustion).  Both are retried with backoff, then
+        the bit-identical serial path takes over.  Returns ``(lc,
+        edge_mats, retries_used, degraded_reason)``.
         """
         from concurrent.futures.process import BrokenProcessPool
 
@@ -480,8 +627,12 @@ class CostModel:
                 _interruptible_sleep(
                     PARALLEL_RETRY_BACKOFF_SECONDS * attempt, checkpoint)
             try:
-                lc, edge_mats = self._build_arrays_parallel(
-                    graph, space, workers)
+                if backend == "threads":
+                    lc, edge_mats = self._build_arrays_threads(
+                        graph, space, workers)
+                else:
+                    lc, edge_mats = self._build_arrays_parallel(
+                        graph, space, workers)
                 return lc, edge_mats, attempt, None
             except (BrokenProcessPool, OSError) as err:
                 last_error = err
@@ -495,26 +646,62 @@ class CostModel:
         lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
         return lc, edge_mats, PARALLEL_BUILD_RETRIES, reason
 
+    def _build_arrays_threads(
+            self, graph: CompGraph, space: ConfigSpace, workers: int,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+        """Fan the matrix builds over a thread pool (zero-copy, no fork).
+
+        The heavy lifting is vectorized numpy, which releases the GIL
+        inside its kernels; results are ordinary in-process arrays, so
+        nothing is shipped at all.  ``Executor.map`` preserves input
+        order, keeping the caller's accumulation identical to serial.
+        """
+        from concurrent.futures import ThreadPoolExecutor
+
+        ops = list(graph)
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            lc_arrays = list(pool.map(
+                lambda op: self.layer_cost(op, space.configs(op.name)), ops))
+            edge_mats = list(pool.map(
+                lambda e: self.edge_bytes_matrix(
+                    graph, e, space.configs(e.src), space.configs(e.dst)),
+                graph.edges))
+        return {op.name: arr for op, arr in zip(ops, lc_arrays)}, edge_mats
+
     def _build_arrays_parallel(
             self, graph: CompGraph, space: ConfigSpace, workers: int,
     ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
-        """Fan the per-node / per-edge matrix builds over a process pool.
+        """Fan the matrix builds over a process pool + shared-memory arena.
 
-        Returns the layer-cost dict plus the *unscaled* edge matrices in
-        ``graph.edges`` order, so the caller's accumulation is identical
-        to the serial path.
+        Workers write each matrix directly into its planned arena slot
+        and ship back only the key — no result pickling.  The parent
+        adopts every array (one memcpy each) and unlinks the arena in a
+        ``finally``, so the segment never outlives the build, whatever
+        the failure mode.  Returns the layer-cost dict plus the
+        *unscaled* edge matrices in ``graph.edges`` order, so the
+        caller's accumulation is identical to the serial path.
         """
         from concurrent.futures import ProcessPoolExecutor
 
+        from .shm import ShmArena
+
         names = [op.name for op in graph]
         n_edges = len(graph.edges)
-        with ProcessPoolExecutor(
-                max_workers=workers, initializer=_init_worker,
-                initargs=(self, graph, space)) as pool:
-            node_out = dict(pool.map(_node_task, names))
-            edge_out = dict(pool.map(_edge_task, range(n_edges)))
-        lc = {name: node_out[name] for name in names}
-        return lc, [edge_out[i] for i in range(n_edges)]
+        # OSError here (shm exhausted) flows into the hardened retry ->
+        # serial degradation, like any other pool-setup failure.
+        arena = ShmArena.create(self._arena_plan(graph, space))
+        try:
+            with ProcessPoolExecutor(
+                    max_workers=workers, initializer=_init_worker,
+                    initargs=(self, graph, space, arena.name,
+                              arena.manifest)) as pool:
+                list(pool.map(_node_task, names))
+                list(pool.map(_edge_task, range(n_edges)))
+            lc = {name: arena.adopt(("lc", name)) for name in names}
+            edge_mats = [arena.adopt(("tx", i)) for i in range(n_edges)]
+        finally:
+            arena.destroy()
+        return lc, edge_mats
 
 
 def _canonical(u: str, v: str) -> tuple[tuple[str, str], bool]:
@@ -540,8 +727,14 @@ class CostTables:
         digest would describe the *original* space, poisoning later hits.
     build_stats:
         Construction telemetry from :meth:`CostModel.build_tables`
-        (``build_seconds``, ``cache_hit``, ``jobs``, ``cells``); empty for
+        (``build_seconds``, ``cache_hit``, ``jobs``, ``cells``,
+        ``result_bytes``, ``backend`` code, ``shm_bytes``); empty for
         tables assembled by hand.
+    backend:
+        Name of the build backend that produced the arrays
+        (``"serial"``/``"threads"``/``"processes"``; degraded builds
+        report ``"serial"`` — the path that actually ran).  The numeric
+        twin lives in ``build_stats["backend"]`` (`BACKEND_CODES`).
     """
 
     graph: CompGraph
@@ -550,6 +743,7 @@ class CostTables:
     lc: dict[str, np.ndarray]
     pair_tx: dict[tuple[str, str], np.ndarray]
     derived: bool = False
+    backend: str = field(default="serial", repr=False)
     build_stats: dict[str, float] = field(default_factory=dict, repr=False)
     #: Human-readable reason when the parallel build fell back to serial
     #: (None for clean builds); surfaced in the hardened runtime's report.

@@ -1,0 +1,269 @@
+"""The shared-memory data plane: zero-copy parallel results.
+
+Two independent mechanisms live here, both serving the same goal —
+stop shipping multi-megabyte cost matrices through pickle pipes:
+
+`ShmArena`
+    A single sized ``multiprocessing.shared_memory`` segment with a
+    per-array **offset manifest**, planned by the parent *before* any
+    worker runs (every table array's shape is known from the
+    configuration space alone).  Pool workers attach, write their
+    result matrix in place, and return only the array key; the parent
+    *adopts* each array — one ``memcpy`` into process-private memory —
+    and then unlinks the segment.  Adoption copies deliberately: the
+    returned `CostTables` must outlive the arena, survive retries, and
+    never dangle a mapping into an unlinked segment.
+
+    The arena is crash-robust by construction: creation failures
+    (``/dev/shm`` exhausted) surface as ``OSError`` and flow into the
+    existing retry-then-serial degradation; the owner's
+    ``destroy()`` is idempotent and runs in a ``finally``, so the
+    segment is unlinked on success, on worker death mid-write, and on
+    the serial-fallback path alike.
+
+`open_npz_mmap`
+    Read-only zero-copy views over the arrays of an **uncompressed**
+    ``.npz`` (the format `repro.core.tablecache` writes).  ``np.load``
+    ignores ``mmap_mode`` for zip archives, so this walks the zip's
+    local headers itself: each stored member's payload is a contiguous
+    ``.npy`` byte range inside the file, mapped once with
+    ``mmap.ACCESS_READ`` and wrapped by ``np.frombuffer``.  The views
+    are *read-only* (a write raises ``ValueError``) and share pages
+    across every process mapping the same cache entry — a fleet of
+    workers warm-hitting one table-cache file no longer copies the
+    payload per task.  Deleting the file while views are alive is safe
+    on POSIX: the inode persists until the last mapping dies.
+"""
+
+from __future__ import annotations
+
+import io
+import mmap
+import struct
+import zipfile
+from multiprocessing import shared_memory
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["ShmArena", "ArenaManifest", "open_npz_mmap", "plan_nbytes"]
+
+#: Byte alignment of every array inside an arena.  64 keeps each array
+#: cache-line aligned, so worker writes to neighbouring arrays never
+#: false-share a line.
+ARENA_ALIGN = 64
+
+#: The fixed portion of a zip *local* file header (signature through
+#: the extra-field length), per APPNOTE 4.3.7.
+_ZIP_LOCAL_HEADER = struct.Struct("<IHHHHHIIIHH")
+_ZIP_LOCAL_MAGIC = 0x04034B50
+
+#: key -> (byte offset, shape, dtype str); picklable, shipped once per
+#: pool worker through the initializer.
+ArenaManifest = dict
+
+
+def _align(n: int) -> int:
+    return (n + ARENA_ALIGN - 1) // ARENA_ALIGN * ARENA_ALIGN
+
+
+def plan_nbytes(plan: Mapping[Any, tuple[tuple[int, ...], Any]]) -> int:
+    """Total segment bytes an arena for ``plan`` would allocate."""
+    total = 0
+    for shape, dtype in plan.values():
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        total = _align(total + nbytes)
+    return max(total, 1)
+
+
+class ShmArena:
+    """One shared-memory segment holding many planned arrays.
+
+    Lifecycle::
+
+        arena = ShmArena.create({key: (shape, dtype), ...})   # parent
+        worker = ShmArena.attach(arena.name, arena.manifest)  # child
+        worker.write(key, computed_array)                     # in place
+        out = arena.adopt(key)                                # memcpy out
+        arena.destroy()                                       # unlink
+
+    ``create`` raises ``OSError`` when the segment cannot be allocated
+    (shm exhausted); callers route that into their degradation path.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory,
+                 manifest: ArenaManifest, *, owner: bool) -> None:
+        self._shm: shared_memory.SharedMemory | None = shm
+        self.manifest = manifest
+        self._owner = owner
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, plan: Mapping[Any, tuple[tuple[int, ...], Any]]
+               ) -> "ShmArena":
+        """Allocate a segment sized for ``plan`` (key -> (shape, dtype))."""
+        manifest: ArenaManifest = {}
+        offset = 0
+        for key, (shape, dtype) in plan.items():
+            dt = np.dtype(dtype)
+            nbytes = int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+            manifest[key] = (offset, tuple(int(s) for s in shape), dt.str)
+            offset = _align(offset + nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        return cls(shm, manifest, owner=True)
+
+    @classmethod
+    def attach(cls, name: str, manifest: ArenaManifest) -> "ShmArena":
+        """Map an existing arena by name (worker side)."""
+        return cls(shared_memory.SharedMemory(name=name), manifest,
+                   owner=False)
+
+    @property
+    def name(self) -> str:
+        assert self._shm is not None, "arena already closed"
+        return self._shm.name
+
+    @property
+    def nbytes(self) -> int:
+        assert self._shm is not None, "arena already closed"
+        return self._shm.size
+
+    def keys(self) -> Iterable[Any]:
+        return self.manifest.keys()
+
+    # -- array access --------------------------------------------------------
+
+    def _view(self, key: Any) -> np.ndarray:
+        assert self._shm is not None, "arena already closed"
+        offset, shape, dtype = self.manifest[key]
+        return np.ndarray(shape, dtype=np.dtype(dtype),
+                          buffer=self._shm.buf, offset=offset)
+
+    def write(self, key: Any, array: np.ndarray) -> None:
+        """Copy ``array`` into the arena slot for ``key`` (worker side).
+
+        The slot's shape/dtype were planned by the parent; a mismatch is
+        a programming error and raises rather than corrupting a
+        neighbouring array.
+        """
+        view = self._view(key)
+        if view.shape != array.shape:
+            raise ValueError(
+                f"arena slot {key!r} planned as {view.shape}, "
+                f"worker produced {array.shape}")
+        view[...] = array
+        del view  # release the buffer export so close() can unmap
+
+    def adopt(self, key: Any) -> np.ndarray:
+        """Copy the array for ``key`` out of the arena (parent side).
+
+        One ``memcpy`` into process-private memory, so the result is an
+        ordinary owned array safe to keep after ``destroy()``.
+        """
+        view = self._view(key)
+        out = view.copy()
+        del view
+        return out
+
+    # -- teardown ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Unmap this process's view (idempotent, export-tolerant)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except BufferError:  # pragma: no cover - a live view still exports
+            return  # process exit reclaims the mapping
+        self._shm = None
+
+    def destroy(self) -> None:
+        """Unlink the segment (owner only) and unmap.  Idempotent; safe
+        to call from a ``finally`` on every success/failure/retry path."""
+        if self._shm is None:
+            return
+        name = self._shm.name
+        self.close()
+        if self._owner:
+            try:
+                # close() may have early-returned on BufferError; unlink
+                # through a fresh handle so the name always goes away.
+                seg = shared_memory.SharedMemory(name=name)
+                seg.close()
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+        self._shm = None
+
+    def __del__(self) -> None:  # pragma: no cover - GC backstop
+        try:
+            self.destroy() if self._owner else self.close()
+        except Exception:
+            pass
+
+
+# -- mmap'd .npz reads -------------------------------------------------------
+
+
+def _member_data_span(zf: zipfile.ZipFile, raw, info: zipfile.ZipInfo
+                      ) -> tuple[int, int]:
+    """(offset, size) of a stored member's payload inside the file.
+
+    The *local* header's name/extra lengths can differ from the central
+    directory's, so the span is computed from the local header itself.
+    """
+    if info.compress_type != zipfile.ZIP_STORED:
+        raise ValueError(f"{info.filename} is compressed; cannot mmap")
+    hdr = bytes(raw[info.header_offset:
+                    info.header_offset + _ZIP_LOCAL_HEADER.size])
+    if len(hdr) < _ZIP_LOCAL_HEADER.size:
+        raise ValueError("truncated zip local header")
+    fields = _ZIP_LOCAL_HEADER.unpack(hdr)
+    if fields[0] != _ZIP_LOCAL_MAGIC:
+        raise ValueError("bad zip local header signature")
+    name_len, extra_len = fields[9], fields[10]
+    start = info.header_offset + _ZIP_LOCAL_HEADER.size + name_len + extra_len
+    return start, info.file_size
+
+
+def _npy_view(raw: memoryview, start: int, size: int) -> np.ndarray:
+    """A read-only ndarray over one ``.npy`` payload inside ``raw``."""
+    head = bytes(raw[start:start + min(size, 4096)])
+    bio = io.BytesIO(head)
+    version = np.lib.format.read_magic(bio)
+    if version == (1, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_1_0(bio)
+    elif version == (2, 0):
+        shape, fortran, dtype = np.lib.format.read_array_header_2_0(bio)
+    else:
+        raise ValueError(f"unsupported .npy version {version}")
+    if dtype.hasobject:
+        raise ValueError("object arrays cannot be mapped")
+    data_start = start + bio.tell()
+    count = int(np.prod(shape, dtype=np.int64))
+    arr = np.frombuffer(raw, dtype=dtype, count=count, offset=data_start)
+    return arr.reshape(shape, order="F" if fortran else "C")
+
+
+def open_npz_mmap(path) -> dict[str, np.ndarray]:
+    """Read-only zero-copy array views over an uncompressed ``.npz``.
+
+    Returns member name (without the ``.npy`` suffix) -> read-only
+    ndarray backed by one shared ``mmap`` of the file; the mapping stays
+    alive as long as any view references it.  Raises ``ValueError`` /
+    ``OSError`` / ``zipfile.BadZipFile`` when the archive is compressed,
+    torn, or otherwise unmappable — callers fall back to an eager load.
+    """
+    with open(path, "rb") as fh:
+        mapped = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+    raw = memoryview(mapped)
+    views: dict[str, np.ndarray] = {}
+    with open(path, "rb") as fh, zipfile.ZipFile(fh) as zf:
+        for info in zf.infolist():
+            name = info.filename
+            if name.endswith(".npy"):
+                name = name[:-4]
+            start, size = _member_data_span(zf, raw, info)
+            views[name] = _npy_view(raw, start, size)
+    return views

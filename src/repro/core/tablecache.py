@@ -60,6 +60,7 @@ import json
 import logging
 import os
 import tempfile
+import weakref
 import zipfile
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterator
@@ -94,19 +95,52 @@ DEFAULT_CACHE_BYTES = 1 << 30
 CACHE_DIR_ENV = "PASE_TABLE_CACHE_DIR"
 CACHE_BYTES_ENV = "PASE_TABLE_CACHE_BYTES"
 
+#: Kill-switch for mmap'd warm hits: set to ``0`` to force the eager
+#: (copying) loader everywhere.
+CACHE_MMAP_ENV = "PASE_TABLE_MMAP"
+
 #: Separator joining pair keys in the manifest (never appears in names).
 _PAIR_SEP = "\x1f"
+
+#: Process-wide memo of *verified* mmap'd entries, keyed by
+#: ``(path, inode, size, digest)``.  A persistent fleet worker hits
+#: the same cache file once per task; re-mapping and re-checksumming
+#: identical bytes every time is pure waste, so the parsed read-only
+#: views are kept until the file changes (any rewrite lands via
+#: ``os.replace``, whose temp file carries a fresh inode) or the memo
+#: fills up.  The inode — not mtime — identifies the bytes, because the
+#: cache's own LRU touch rewrites mtime on every hit.  Only mmap reads
+#: are memoized: their arrays are immutable views, safe to hand to any
+#: number of callers.
+_MMAP_MEMO: dict = {}
+_MMAP_MEMO_MAX = 16
+
+#: Identity-keyed memo for `table_digest`: hashing the full enumerated
+#: configuration space costs ~1ms, and a fleet worker digests the same
+#: memoized ``(graph, space)`` pair on every task (once for the cache
+#: lookup, once for the run fingerprint).  Entries are validated by
+#: weakref before use, so a recycled ``id()`` can never alias a dead
+#: object's digest.  Mutating a graph/space in place after digesting it
+#: is not supported (they are build-once values everywhere in the repo).
+_DIGEST_MEMO: dict = {}
+_DIGEST_MEMO_MAX = 32
 
 
 def _payload_checksum(arrays) -> str:
     """sha256 over the stored arrays' dtype/shape/raw bytes, in manifest
-    order — the integrity check `TableCache.load` verifies."""
+    order — the integrity check `TableCache.load` verifies.
+
+    Contiguous arrays hash straight off their buffer (no ``tobytes``
+    copy), so verifying a multi-MB mmap'd entry touches the pages once
+    and allocates nothing; the digest is identical either way.
+    """
     h = hashlib.sha256()
     for arr in arrays:
-        a = np.ascontiguousarray(arr)
+        a = arr if (isinstance(arr, np.ndarray) and arr.flags.c_contiguous) \
+            else np.ascontiguousarray(arr)
         h.update(str(a.dtype).encode())
         h.update(str(a.shape).encode())
-        h.update(a.tobytes())
+        h.update(a.data)
     return h.hexdigest()
 
 
@@ -132,6 +166,18 @@ def _node_desc(op) -> list:
 def table_digest(graph: CompGraph, space: ConfigSpace,
                  model: "CostModel") -> str:
     """Stable hex digest identifying one table-construction instance."""
+    model_key = (model.machine.name, model.machine.peak_flops,
+                 model.machine.intra_node_bw, model.machine.inter_node_bw,
+                 model.machine.devices_per_node, model.machine.p2p,
+                 bool(model.include_grad_sync), bool(model.include_reduction),
+                 bool(model.include_extra), float(model.UPDATE_FLOPS_PER_PARAM))
+    memo_key = (id(graph), id(space), model_key)
+    hit = _DIGEST_MEMO.get(memo_key)
+    if hit is not None:
+        wr_graph, wr_space, digest = hit
+        if wr_graph() is graph and wr_space() is space:
+            return digest
+        del _DIGEST_MEMO[memo_key]
     h = hashlib.sha256()
     desc = {
         "version": _FORMAT_VERSION,
@@ -155,7 +201,15 @@ def table_digest(graph: CompGraph, space: ConfigSpace,
         h.update(name.encode())
         h.update(str(tab.shape).encode())
         h.update(tab.tobytes())
-    return h.hexdigest()
+    digest = h.hexdigest()
+    try:
+        while len(_DIGEST_MEMO) >= _DIGEST_MEMO_MAX:
+            _DIGEST_MEMO.pop(next(iter(_DIGEST_MEMO)))
+        _DIGEST_MEMO[memo_key] = (weakref.ref(graph), weakref.ref(space),
+                                  digest)
+    except TypeError:  # non-weakref-able objects: just skip the memo
+        pass
+    return digest
 
 
 class TableCache:
@@ -272,7 +326,8 @@ class TableCache:
         return path
 
     def load(self, digest: str, graph: CompGraph, space: ConfigSpace,
-             machine: MachineSpec) -> "CostTables | None":
+             machine: MachineSpec, *,
+             mmap: bool | None = None) -> "CostTables | None":
         """Reconstruct `CostTables` for a digest, or None on a miss.
 
         The caller supplies the live graph/space/machine objects (the
@@ -280,31 +335,63 @@ class TableCache:
         truncated, checksum-failing, or incompatible entry is quarantined
         to ``corrupt/`` and reported as a miss — the caller rebuilds; the
         run never crashes on a bad cache file.
+
+        Warm hits default to **mmap'd zero-copy views** (``mmap=None``
+        honors `CACHE_MMAP_ENV`): the entry's arrays are served read-only
+        straight off one shared mapping of the file, so a fleet of
+        workers hitting the same entry shares pages instead of each
+        copying multi-MB payloads — nothing in the pipeline writes table
+        arrays in place (writers copy first, e.g. the reduction's
+        ``np.array(...)`` adoption).  Anything the mmap reader cannot
+        serve falls back to the eager copying loader, whose verdict
+        (including quarantine) is authoritative.
         """
         from .costmodel import CostTables
 
         path = self.path_for(digest)
         if not path.is_file():
             return None
-        try:
-            with np.load(path, allow_pickle=False) as data:
-                manifest = json.loads(str(data["manifest"]))
+        if mmap is None:
+            mmap = os.environ.get(CACHE_MMAP_ENV, "1") != "0"
+        memo_key = verified = None
+        if mmap:
+            try:
+                st = path.stat()
+                memo_key = (str(path), st.st_ino, st.st_size, digest)
+                verified = _MMAP_MEMO.get(memo_key)
+            except OSError:
+                return None  # raced an eviction: a plain miss
+        if verified is not None:
+            manifest, lc, pair_tx = verified
+        else:
+            loaded = None
+            from_mmap = False
+            if mmap:
+                try:
+                    loaded = self._read_mmap(path)
+                    from_mmap = True
+                except (OSError, ValueError, KeyError, EOFError,
+                        zipfile.BadZipFile, json.JSONDecodeError):
+                    loaded = None  # let the eager loader classify the file
+            try:
+                if loaded is None:
+                    loaded = self._read_eager(path)
+                manifest, lc, pair_tx = loaded
                 if manifest.get("version") != _FORMAT_VERSION or \
                         manifest.get("digest") != digest:
                     raise ValueError("manifest mismatch")
-                lc = {name: data[f"lc_{i}"]
-                      for i, name in enumerate(manifest["nodes"])}
-                pair_tx = {}
-                for i, joined in enumerate(manifest["pairs"]):
-                    u, v = joined.split(_PAIR_SEP)
-                    pair_tx[(u, v)] = data[f"tx_{i}"]
-            payload = list(lc.values()) + list(pair_tx.values())
-            if _payload_checksum(payload) != manifest.get("payload_checksum"):
-                raise ValueError("payload checksum mismatch")
-        except (OSError, ValueError, KeyError, EOFError,
-                zipfile.BadZipFile, json.JSONDecodeError) as err:
-            self._quarantine(path, reason=str(err))
-            return None
+                payload = list(lc.values()) + list(pair_tx.values())
+                if _payload_checksum(payload) != \
+                        manifest.get("payload_checksum"):
+                    raise ValueError("payload checksum mismatch")
+            except (OSError, ValueError, KeyError, EOFError,
+                    zipfile.BadZipFile, json.JSONDecodeError) as err:
+                self._quarantine(path, reason=str(err))
+                return None
+            if from_mmap and memo_key is not None:
+                while len(_MMAP_MEMO) >= _MMAP_MEMO_MAX:
+                    _MMAP_MEMO.pop(next(iter(_MMAP_MEMO)))
+                _MMAP_MEMO[memo_key] = (manifest, lc, pair_tx)
         if set(lc) != set(space.tables) or \
                 any(lc[n].shape[0] != space.size(n) for n in lc):
             self._quarantine(path, reason="stored shapes do not match the "
@@ -313,6 +400,36 @@ class TableCache:
         os.utime(path)  # LRU touch
         return CostTables(graph=graph, space=space, machine=machine,
                           lc=lc, pair_tx=pair_tx)
+
+    @staticmethod
+    def _read_mmap(path: Path):
+        """Zero-copy read: ``(manifest, lc, pair_tx)`` as read-only
+        views over one shared mapping of the entry (POSIX keeps the
+        mapping valid even if the file is later evicted)."""
+        from .shm import open_npz_mmap
+
+        data = open_npz_mmap(path)
+        manifest = json.loads(str(data["manifest"]))
+        lc = {name: data[f"lc_{i}"]
+              for i, name in enumerate(manifest["nodes"])}
+        pair_tx = {}
+        for i, joined in enumerate(manifest["pairs"]):
+            u, v = joined.split(_PAIR_SEP)
+            pair_tx[(u, v)] = data[f"tx_{i}"]
+        return manifest, lc, pair_tx
+
+    @staticmethod
+    def _read_eager(path: Path):
+        """Copying read: ``(manifest, lc, pair_tx)`` as owned arrays."""
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+            lc = {name: data[f"lc_{i}"]
+                  for i, name in enumerate(manifest["nodes"])}
+            pair_tx = {}
+            for i, joined in enumerate(manifest["pairs"]):
+                u, v = joined.split(_PAIR_SEP)
+                pair_tx[(u, v)] = data[f"tx_{i}"]
+        return manifest, lc, pair_tx
 
     def _quarantine(self, path: Path, *, reason: str) -> None:
         """Move a bad entry to ``corrupt/`` (counted, never re-read).

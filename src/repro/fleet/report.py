@@ -53,6 +53,9 @@ class FleetReport:
     wall_seconds: float = 0.0
     searches_per_minute: float = 0.0
     workers: int = 0
+    pool: str = "spawn"
+    workers_spawned: int = 0
+    workers_reused: int = 0
     resumed: bool = False
     results_path: str | None = None
     summary_path: str | None = None
@@ -109,6 +112,9 @@ def write_summary(fleet_dir: str | Path, report: FleetReport,
         "wall_seconds": report.wall_seconds,
         "searches_per_minute": report.searches_per_minute,
         "workers": report.workers,
+        "pool": report.pool,
+        "workers_spawned": report.workers_spawned,
+        "workers_reused": report.workers_reused,
         "resumed": report.resumed,
         "quarantined_tasks": report.quarantined_tasks,
         "results": "results.jsonl",
@@ -124,6 +130,11 @@ def format_fleet_report(report: FleetReport) -> str:
         f"({report.workers} workers, {report.wall_seconds:.1f}s, "
         f"{report.searches_per_minute:.1f} searches/min)"
     ]
+    if report.pool == "persistent":
+        lines.append(
+            f"fleet: persistent pool — {report.workers_spawned} "
+            f"process(es) forked, {report.workers_reused} warm "
+            "reuse(s)")
     if report.resumed:
         lines.append(
             f"fleet: resumed mid-sweep; {report.adopted} finished "

@@ -45,13 +45,25 @@ from ..obs.profile import metrics_of, tracer_of
 from ..runtime.budget import Cancellation, RunBudget
 from ..runtime.context import RunContext
 from .manifest import FleetManifest
+from .pool import WorkerPool
 from .report import FleetReport, format_fleet_report, merge_results, \
     write_summary
 from .spec import SweepSpec, SweepTask
-from .worker import read_json, task_dir, worker_main
+from .worker import (
+    prewarm_fork_template,
+    read_json,
+    task_dir,
+    worker_main,
+)
 
-__all__ = ["FleetSupervisor", "run_sweep",
+__all__ = ["FleetSupervisor", "run_sweep", "DEFAULT_POOL",
            "DEFAULT_MAX_ATTEMPTS", "DEFAULT_STRAGGLER_AFTER_SECONDS"]
+
+#: Worker management strategy: ``"persistent"`` reuses pre-forked
+#: processes across tasks (`repro.fleet.pool`); ``"spawn"`` forks a
+#: fresh process per task attempt (the original behaviour).
+DEFAULT_POOL = "persistent"
+POOL_MODES = ("spawn", "persistent")
 
 #: Total attempts a task gets before quarantine (first run + retries).
 DEFAULT_MAX_ATTEMPTS = 3
@@ -118,6 +130,12 @@ class FleetSupervisor:
         Fleet-level `RunContext`: cancellation token (pair with
         `trap_signals`), optional fleet-wide deadline, tracer/metrics.
         Per-task budgets are separate and built by the workers.
+    pool:
+        ``"persistent"`` (default) serves tasks from a pre-forked
+        reusable worker pool; ``"spawn"`` forks one process per task
+        attempt.  Failure semantics are identical: a failed attempt
+        always costs its process.  ``None`` falls back to
+        ``ctx.pool``, then `DEFAULT_POOL`.
     """
 
     def __init__(self, spec: SweepSpec, fleet_dir: str | Path, *,
@@ -127,7 +145,8 @@ class FleetSupervisor:
                  straggler_after: float = DEFAULT_STRAGGLER_AFTER_SECONDS,
                  backoff_base: float = BACKOFF_BASE_SECONDS,
                  backoff_cap: float = BACKOFF_CAP_SECONDS,
-                 ctx: RunContext | None = None) -> None:
+                 ctx: RunContext | None = None,
+                 pool: str | None = None) -> None:
         if workers < 1:
             raise ValueError(f"workers={workers} must be >= 1")
         if max_attempts < 1:
@@ -150,6 +169,14 @@ class FleetSupervisor:
                 budget=ctx.budget or RunBudget(),
                 cancellation=ctx.cancellation or Cancellation())
         self.ctx = ctx
+        resolved_pool = pool or ctx.pool or DEFAULT_POOL
+        if resolved_pool not in POOL_MODES:
+            raise ValueError(
+                f"pool={resolved_pool!r} must be one of {POOL_MODES}")
+        self.pool = resolved_pool
+        self._pool: WorkerPool | None = None
+        self._spawn_dispatches = 0
+        self._worker_spawned_counter: Any = None
         self.manifest = FleetManifest(self.fleet_dir)
         self._mp = multiprocessing.get_context()
 
@@ -231,22 +258,43 @@ class FleetSupervisor:
         completed_this_run = 0
         task_seconds = metrics.histogram(
             "fleet_task_seconds", "wall seconds per completed fleet task")
+        spawned_total = metrics.counter(
+            "fleet_worker_spawned_total", "fleet worker processes forked")
+        reused_total = metrics.counter(
+            "fleet_worker_reused_total",
+            "fleet tasks served by an already-warm pool worker")
+        self._worker_spawned_counter = spawned_total
+        if self.pool == "persistent":
+            # Workers fork from this process: memos warmed here are
+            # inherited by every worker, so each distinct problem pays
+            # its first-touch cost exactly once fleet-wide.
+            prewarm_fork_template(
+                (by_id[tid] for tid in self.manifest.in_state("pending")
+                 if tid in by_id),
+                self.fleet_dir)
+            self._pool = WorkerPool(
+                mp_ctx=self._mp, fleet_dir=str(self.fleet_dir),
+                options={"task_deadline": self.task_deadline},
+                max_workers=self.workers,
+                on_spawn=spawned_total.inc, on_reuse=reused_total.inc)
         try:
             while True:
                 self._poll_control(running)
-                completed_this_run += self._reap(
-                    running, by_id, tracer, metrics, next_eligible,
-                    task_seconds)
-                self._kill_stragglers(running, metrics)
-                pending = self.manifest.in_state("pending")
-                if not pending and not running:
-                    break
-                self._dispatch(pending, running, by_id, next_eligible)
-                self.manifest.flush(force=False)
+                with self.manifest.batch():
+                    completed_this_run += self._reap(
+                        running, by_id, tracer, metrics, next_eligible,
+                        task_seconds)
+                    self._kill_stragglers(running, metrics)
+                    pending = self.manifest.in_state("pending")
+                    if not pending and not running:
+                        break
+                    self._dispatch(pending, running, by_id, next_eligible)
                 time.sleep(POLL_INTERVAL_SECONDS)
         except BaseException:
             self._shutdown(running)
             raise
+        if self._pool is not None:
+            self._pool.shutdown(SHUTDOWN_GRACE_SECONDS)
         return self._build_report(by_id, completed_this_run,
                                   time.monotonic() - t0)
 
@@ -274,12 +322,18 @@ class FleetSupervisor:
             # Clear the previous attempt's heartbeat so staleness is
             # always measured against *this* process.
             (tdir / "heartbeat.json").unlink(missing_ok=True)
-            proc = self._mp.Process(
-                target=worker_main,
-                args=(task.to_dict(), attempt + 1, str(self.fleet_dir),
-                      {"task_deadline": self.task_deadline}),
-                name=f"fleet-worker-{tid}")
-            proc.start()
+            if self._pool is not None:
+                proc = self._pool.submit(tid, task.to_dict(), attempt + 1)
+            else:
+                proc = self._mp.Process(
+                    target=worker_main,
+                    args=(task.to_dict(), attempt + 1, str(self.fleet_dir),
+                          {"task_deadline": self.task_deadline}),
+                    name=f"fleet-worker-{tid}")
+                proc.start()
+                self._spawn_dispatches += 1
+                if self._worker_spawned_counter is not None:
+                    self._worker_spawned_counter.inc()
             assert proc.pid is not None
             self.manifest.mark_running(tid, pid=proc.pid)
             running[tid] = _InFlight(task=task, process=proc, started=now)
@@ -291,16 +345,34 @@ class FleetSupervisor:
         done = 0
         for tid in list(running):
             flight = running[tid]
-            if flight.process.is_alive():
-                continue
-            flight.process.join()
+            tdir = task_dir(self.fleet_dir, tid)
+            if self._pool is not None:
+                # Pool workers outlive their tasks, so completion is the
+                # atomic result.json write, not process exit; a dead
+                # process (burned on failure, straggler-SIGKILLed, real
+                # crash) is the failure signal, exactly as in spawn
+                # mode.  A valid result counts even from a process that
+                # died afterwards — same rule as orphan adoption.
+                result = read_json(tdir / "result.json")
+                attempt_ok = (result is not None and
+                              result.get("record", {}).get("task_id") == tid)
+                if flight.process.is_alive() and not attempt_ok:
+                    continue
+                if not flight.process.is_alive():
+                    flight.process.join()
+                exitcode = 0 if attempt_ok else flight.process.exitcode
+                self._pool.release(tid)
+            else:
+                if flight.process.is_alive():
+                    continue
+                flight.process.join()
+                exitcode = flight.process.exitcode
+                result = read_json(tdir / "result.json")
+                attempt_ok = (exitcode == 0 and result is not None
+                              and result.get("record", {}).get("task_id")
+                              == tid)
             del running[tid]
             seconds = time.monotonic() - flight.started
-            exitcode = flight.process.exitcode
-            tdir = task_dir(self.fleet_dir, tid)
-            result = read_json(tdir / "result.json")
-            attempt_ok = (exitcode == 0 and result is not None
-                          and result.get("record", {}).get("task_id") == tid)
             if attempt_ok:
                 self.manifest.mark_done(tid, seconds=seconds)
                 task_seconds.observe(seconds)
@@ -367,15 +439,21 @@ class FleetSupervisor:
 
     def _shutdown(self, running: dict[str, _InFlight]) -> None:
         """TERM then KILL every child, flush the manifest, stay quiet."""
-        for flight in running.values():
-            if flight.process.is_alive():
-                flight.process.terminate()
-        deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
-        for flight in running.values():
-            flight.process.join(max(0.0, deadline - time.monotonic()))
-            if flight.process.is_alive():
-                flight.process.kill()
-                flight.process.join()
+        if self._pool is not None:
+            # The pool owns the processes: idle workers drain cleanly,
+            # busy ones are TERMed (their in-flight attempts die, same
+            # as spawn mode) and KILLed past the grace period.
+            self._pool.shutdown(SHUTDOWN_GRACE_SECONDS)
+        else:
+            for flight in running.values():
+                if flight.process.is_alive():
+                    flight.process.terminate()
+            deadline = time.monotonic() + SHUTDOWN_GRACE_SECONDS
+            for flight in running.values():
+                flight.process.join(max(0.0, deadline - time.monotonic()))
+                if flight.process.is_alive():
+                    flight.process.kill()
+                    flight.process.join()
         # The in-flight attempts die with us; resume demotes their
         # "running" slots back to pending.
         self.manifest.flush()
@@ -399,6 +477,11 @@ class FleetSupervisor:
             searches_per_minute=(
                 60.0 * completed_this_run / wall_seconds
                 if wall_seconds > 0 else 0.0),
+            pool=self.pool,
+            workers_spawned=(self._pool.spawned if self._pool is not None
+                             else self._spawn_dispatches),
+            workers_reused=(self._pool.reused if self._pool is not None
+                            else 0),
         )
         for tid in self.manifest.in_state("quarantined"):
             rec = self.manifest.task(tid)

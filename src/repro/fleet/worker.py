@@ -53,7 +53,8 @@ from ..core.exceptions import (
 from ..obs.metrics import atomic_write_text
 from .spec import SweepTask
 
-__all__ = ["worker_main", "task_dir", "read_json",
+__all__ = ["worker_main", "run_task_attempt", "prewarm_fork_template",
+           "task_dir", "read_json",
            "HEARTBEAT_INTERVAL_SECONDS", "RESULT_VERSION"]
 
 #: Seconds between heartbeat re-writes.
@@ -142,20 +143,80 @@ def _apply_chaos(task: SweepTask, attempt: int,
         time.sleep(float(chaos.get("seconds", 3600.0)))
 
 
+#: Process-wide memo of built ``(graph, space)`` problems keyed by
+#: ``(model, p, mode)``.  A persistent pool worker serves many tasks
+#: that differ only in seed/method; rebuilding the identical benchmark
+#: graph and configuration space per task is pure overhead.  Both
+#: objects are treated as immutable by the search, so sharing them
+#: across sequential tasks in one process is safe.
+_PROBLEM_MEMO: dict = {}
+_PROBLEM_MEMO_MAX = 8
+
+
+def _problem(model: str, p: int, mode: str):
+    from ..core.configs import ConfigSpace
+    from ..models import BENCHMARKS
+
+    key = (model, p, mode)
+    hit = _PROBLEM_MEMO.get(key)
+    if hit is None:
+        graph = BENCHMARKS[model]()
+        hit = (graph, ConfigSpace.build(graph, p, mode=mode))
+        while len(_PROBLEM_MEMO) >= _PROBLEM_MEMO_MAX:
+            _PROBLEM_MEMO.pop(next(iter(_PROBLEM_MEMO)))
+        _PROBLEM_MEMO[key] = hit
+    return hit
+
+
+def prewarm_fork_template(tasks, fleet_dir: str | os.PathLike) -> int:
+    """Warm the process-wide memos before pool workers fork.
+
+    A persistent pool forks its workers from the supervisor, so
+    anything memoized here is inherited by every worker for free —
+    instead of each of N workers paying its own first-touch cost per
+    distinct problem.  Builds each distinct ``(model, machine, p,
+    mode)`` cell's problem and cost tables through the fleet-wide
+    shared `TableCache`, leaving `_PROBLEM_MEMO` and the cache's mmap
+    memo hot.  Returns the number of cells warmed.  Failures are
+    swallowed: prewarming is a pure optimisation and workers rebuild
+    anything missing themselves.
+    """
+    from ..core.costmodel import CostModel
+    from ..core.machine import MACHINES
+    from ..core.tablecache import TableCache
+    from ..runtime import RunContext
+
+    cache = TableCache(Path(fleet_dir) / "table-cache")
+    warmed = 0
+    seen: set[tuple] = set()
+    for task in tasks:
+        key = (task.model, task.machine, task.p, task.mode)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            graph, space = _problem(task.model, task.p, task.mode)
+            ctx = RunContext(cache=cache)
+            model = CostModel(MACHINES[task.machine])
+            model.build_tables(graph, space, ctx=ctx)  # build + store
+            model.build_tables(graph, space, ctx=ctx)  # load -> mmap memo
+            warmed += 1
+        except Exception:  # pragma: no cover - best-effort warm-up
+            continue
+    return warmed
+
+
 def _run_task(task: SweepTask, attempt: int, fleet: Path,
               options: Mapping[str, Any]) -> dict[str, Any]:
     """Execute one task; returns the deterministic result record."""
-    from ..core.configs import ConfigSpace
     from ..core.dp import DEFAULT_MEMORY_BUDGET
     from ..core.machine import MACHINES
     from ..core.tablecache import TableCache
-    from ..models import BENCHMARKS
     from ..runtime import RunBudget, RunContext, SearchJournal
     from ..runtime.run import execute_search
 
     machine = MACHINES[task.machine]
-    graph = BENCHMARKS[task.model]()
-    space = ConfigSpace.build(graph, task.p, mode=task.mode)
+    graph, space = _problem(task.model, task.p, task.mode)
     shared_cache = TableCache(fleet / "table-cache")
     tdir = task_dir(fleet, task.task_id)
     journal = SearchJournal(tdir / "journal", table_store=shared_cache)
@@ -206,23 +267,17 @@ def _run_task(task: SweepTask, attempt: int, fleet: Path,
     return record
 
 
-def worker_main(task_dict: Mapping[str, Any], attempt: int,
-                fleet_dir: str, options: Mapping[str, Any]) -> None:
-    """Child-process entry point: run one task, leave files, exit.
+def run_task_attempt(task_dict: Mapping[str, Any], attempt: int,
+                     fleet_dir: str, options: Mapping[str, Any]) -> bool:
+    """Run one task attempt over the file protocol; True on success.
 
-    Exit codes: 0 success (``result.json`` written), 1 failure
-    (``error.json`` written); anything else means the process died
-    uncleanly and the supervisor treats it as a crash.
+    The reusable core shared by the spawn-per-task `worker_main` and the
+    persistent pool's worker loop (`repro.fleet.pool`): heartbeat for
+    the duration, apply chaos, run the search, and leave exactly one of
+    ``result.json`` (success) or ``error.json`` (caught failure) behind.
+    Task failures are *returned*, not raised — only process-killing
+    faults (chaos ``os._exit``, a real crash) escape.
     """
-    # The supervisor owns shutdown: ignore SIGINT (a terminal ^C hits
-    # the whole process group) so the fleet winds down through the
-    # supervisor's manifest flush, not through 50 dying children.  A
-    # forked child also inherits `trap_signals`' SIGTERM handler, which
-    # would flip a *copy* of the supervisor's token and keep running —
-    # restore the default so the supervisor's terminate() actually
-    # terminates.
-    signal.signal(signal.SIGINT, signal.SIG_IGN)
-    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     task = SweepTask.from_dict(dict(task_dict))
     tdir = task_dir(fleet_dir, task.task_id)
     tdir.mkdir(parents=True, exist_ok=True)
@@ -248,7 +303,7 @@ def worker_main(task_dict: Mapping[str, Any], attempt: int,
             "detail": str(err),
         })
         heartbeat.stop()
-        sys.exit(1)
+        return False
     _write_json(tdir / "result.json", {
         "version": RESULT_VERSION,
         "record": record,
@@ -256,4 +311,25 @@ def worker_main(task_dict: Mapping[str, Any], attempt: int,
         "elapsed_seconds": time.perf_counter() - t0,
     })
     heartbeat.stop()
-    sys.exit(0)
+    return True
+
+
+def worker_main(task_dict: Mapping[str, Any], attempt: int,
+                fleet_dir: str, options: Mapping[str, Any]) -> None:
+    """Child-process entry point: run one task, leave files, exit.
+
+    Exit codes: 0 success (``result.json`` written), 1 failure
+    (``error.json`` written); anything else means the process died
+    uncleanly and the supervisor treats it as a crash.
+    """
+    # The supervisor owns shutdown: ignore SIGINT (a terminal ^C hits
+    # the whole process group) so the fleet winds down through the
+    # supervisor's manifest flush, not through 50 dying children.  A
+    # forked child also inherits `trap_signals`' SIGTERM handler, which
+    # would flip a *copy* of the supervisor's token and keep running —
+    # restore the default so the supervisor's terminate() actually
+    # terminates.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    sys.exit(0 if run_task_attempt(task_dict, attempt, fleet_dir, options)
+             else 1)

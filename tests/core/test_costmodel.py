@@ -222,14 +222,28 @@ class TestParallelBuild:
         monkeypatch.setattr(costmodel, "PARALLEL_THRESHOLD_CELLS", 0)
         g, space, cm = self.setup_instance()
         serial = cm.build_tables(g, space)
-        par = cm.build_tables(g, space, jobs=2)
+        # Forced spelling: `jobs=2` auto-selects from measured work and
+        # core count, so it may legitimately resolve to serial/threads.
+        par = cm.build_tables(g, space, jobs="processes:2")
         assert par.build_stats["jobs"] == 2.0
+        assert par.backend == "processes"
         assert set(serial.lc) == set(par.lc)
         assert set(serial.pair_tx) == set(par.pair_tx)
         for n in serial.lc:
             assert np.array_equal(serial.lc[n], par.lc[n])
         for k in serial.pair_tx:
             assert np.array_equal(serial.pair_tx[k], par.pair_tx[k])
+
+    def test_threads_bit_identical(self):
+        g, space, cm = self.setup_instance()
+        serial = cm.build_tables(g, space)
+        thr = cm.build_tables(g, space, jobs="threads:2")
+        assert thr.build_stats["jobs"] == 2.0
+        assert thr.backend == "threads"
+        for n in serial.lc:
+            assert np.array_equal(serial.lc[n], thr.lc[n])
+        for k in serial.pair_tx:
+            assert np.array_equal(serial.pair_tx[k], thr.pair_tx[k])
 
     def test_small_problem_stays_serial(self):
         from repro.core.costmodel import PARALLEL_THRESHOLD_CELLS

@@ -62,7 +62,7 @@ class TestBrokenPool:
             raise BrokenProcessPool("worker killed by test")
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
-        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs=2)
+        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs="processes:2")
 
         assert calls["n"] == 1 + costmodel.PARALLEL_BUILD_RETRIES
         assert tables.build_stats["degraded"] == 1.0
@@ -87,7 +87,7 @@ class TestBrokenPool:
             return original(self, graph, space, workers)
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", flaky)
-        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs=2)
+        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs="processes:2")
         assert tables.build_stats["degraded"] == 0.0
         assert tables.build_stats["parallel_retries"] == 1.0
         assert tables_equal(
@@ -105,7 +105,7 @@ class TestBrokenPool:
         cache = TableCache(tmp_path / "cache")
         with caplog.at_level("WARNING", logger="repro.core.costmodel"):
             tables = CostModel(GTX1080TI).build_tables(
-                graph, space, jobs=2, cache=cache)
+                graph, space, jobs="processes:2", cache=cache)
         assert tables.build_stats["degraded"] == 1.0
         assert list(cache.entries()) == []
         assert any("not caching" in rec.message for rec in caplog.records)
@@ -116,7 +116,7 @@ class TestBrokenPool:
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
         graph, space = make_problem()
-        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs=2)
+        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs="processes:2")
         assert tables.build_stats["degraded"] == 1.0
         assert "OSError" in tables.degraded_reason
 
@@ -133,7 +133,7 @@ class TestRealWorkerDeath:
         reference = CostModel(GTX1080TI).build_tables(graph, space)
 
         monkeypatch.setattr(costmodel, "_node_task", _die_in_worker)
-        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs=2)
+        tables = CostModel(GTX1080TI).build_tables(graph, space, jobs="processes:2")
         assert tables.build_stats["degraded"] == 1.0
         assert tables_equal(tables, reference)
 
@@ -197,7 +197,7 @@ class TestInterruptibleBackoff:
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
         graph, space = make_problem()
-        ctx = RunContext(cancellation=cancel, jobs=2)
+        ctx = RunContext(cancellation=cancel, jobs="processes:2")
         t0 = _time.perf_counter()
         with pytest.raises(RunInterrupted):
             CostModel(GTX1080TI).build_tables(graph, space, ctx=ctx)
@@ -218,7 +218,7 @@ class TestRuntimeSurfacesDegradation:
         graph, space = make_problem()
         fresh = execute_search(graph, space, GTX1080TI).result
         journal = SearchJournal(tmp_path / "journal")
-        out = execute_search(graph, space, GTX1080TI, jobs=2,
+        out = execute_search(graph, space, GTX1080TI, jobs="processes:2",
                              journal=journal)
         assert not out.report.clean
         assert any("serial" in d for d in out.report.degradations)
