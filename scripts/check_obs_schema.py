@@ -6,6 +6,8 @@ Usage::
     PYTHONPATH=src python scripts/check_obs_schema.py TRACE.jsonl METRICS
     PYTHONPATH=src python scripts/check_obs_schema.py TRACE.jsonl METRICS \\
         SUMMARY.json MANIFEST.json
+    PYTHONPATH=src python scripts/check_obs_schema.py --serve \\
+        TRACE.jsonl METRICS
 
 Checks the trace file against the JSONL span schema (meta header,
 well-formed span records, a single root whose tree covers the pipeline
@@ -13,8 +15,15 @@ phases — ``run`` for a search trace, ``fleet`` for a sweep trace) and
 the metrics export against its format — Prometheus text exposition for
 ``.prom``/``.txt``, the JSON layout otherwise.  With the optional third
 and fourth arguments it also validates a fleet's ``summary.json`` and
-``manifest.json`` artifacts.  CI runs this after the smoke search and
-the fleet chaos smoke so a schema regression fails the build rather
+``manifest.json`` artifacts.
+
+``--serve`` validates a ``pase serve`` run instead: the trace must be a
+forest whose every root is a ``serve.request`` span with children drawn
+from the request lifecycle (validate → admit → coalesce|search|cache →
+respond), and the metrics export must carry the serve instrument
+families (requests by code, coalesce/cache hits, queue depth, request
+latency).  CI runs this after the smoke search, the fleet chaos smoke,
+and the serve chaos smoke so a schema regression fails the build rather
 than silently breaking downstream dashboards.
 
 Exit code 0 when every artifact validates, 1 with a message otherwise.
@@ -28,14 +37,33 @@ import sys
 
 from repro.obs import TRACE_VERSION, read_trace, span_tree
 
+#: One sample line: name, optional ``{label="value",...}`` set (general
+#: labels, not just histogram ``le``), then the value.
 _PROM_SAMPLE = re.compile(
-    r"^pase_[a-z0-9_]+(\{le=\"[^\"]+\"\})? -?[0-9][0-9eE.+-]*$")
+    r"^pase_[a-z0-9_]+"
+    r"(\{[a-z_][a-z0-9_]*=\"[^\"]*\"(,[a-z_][a-z0-9_]*=\"[^\"]*\")*\})?"
+    r" -?[0-9][0-9eE.+-]*$")
 _PROM_COMMENT = re.compile(
     r"^# (HELP|TYPE) pase_[a-z0-9_]+( .*)?$")
 
 #: Span names the CLI smoke run must have produced, per trace flavour.
 REQUIRED_SPANS = {"run", "tables", "search"}
 REQUIRED_FLEET_SPANS = {"fleet", "fleet.task"}
+
+#: The serve request lifecycle: every trace root must be a
+#: ``serve.request`` whose children come from this set.
+SERVE_ROOT = "serve.request"
+SERVE_CHILD_SPANS = {"serve.validate", "serve.admit", "serve.coalesce",
+                     "serve.search", "serve.cache", "serve.respond"}
+
+#: Instrument families a serve metrics export must carry.
+SERVE_REQUIRED_METRICS = {
+    "pase_serve_requests_total",
+    "pase_serve_coalesce_hits_total",
+    "pase_serve_result_cache_hits_total",
+    "pase_serve_queue_depth",
+    "pase_serve_request_seconds",
+}
 
 #: Task states a fleet manifest may record.
 MANIFEST_TASK_STATES = {"pending", "running", "done", "quarantined"}
@@ -80,6 +108,59 @@ def check_trace(path: str, *, root: str = "run",
     if [r["name"] for r in roots] != [root]:
         errors.append(f"trace: expected a single {root!r} root, got "
                       f"{[r['name'] for r in roots]}")
+    return errors
+
+
+def check_serve_trace(path: str) -> list[str]:
+    """Validate a serve trace: a forest of per-request span trees."""
+    errors = check_trace(path, root=SERVE_ROOT,
+                         required={SERVE_ROOT, "serve.validate",
+                                   "serve.respond"})
+    # check_trace demands a single root; a serve trace has one root per
+    # request, all named serve.request — drop that error and do the
+    # forest checks instead.
+    errors = [e for e in errors if "expected a single" not in e]
+    try:
+        records = read_trace(path)
+    except (OSError, ValueError):
+        return errors  # already reported unreadable above
+    roots = span_tree(r for r in records if r.get("kind") == "span")
+    for root in roots:
+        if root["name"] != SERVE_ROOT:
+            errors.append(f"trace: root span {root['name']!r} is not "
+                          f"{SERVE_ROOT!r}")
+            continue
+        bad = {c["name"] for c in root["children"]} - SERVE_CHILD_SPANS
+        if bad:
+            errors.append(f"trace: serve.request has unexpected "
+                          f"children {sorted(bad)}")
+    return errors
+
+
+def check_serve_metrics(path: str) -> list[str]:
+    """Format check + the serve instrument families must be present."""
+    errors = check_metrics(path)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError:
+        return errors  # already reported unreadable above
+    families: set[str] = set()
+    if path.endswith((".prom", ".txt")):
+        for line in text.splitlines():
+            if line and not line.startswith("#"):
+                name = line.split("{")[0].split()[0]
+                families.add(re.sub(r"_(bucket|sum|count)$", "", name))
+    else:
+        try:
+            doc = json.loads(text)
+        except json.JSONDecodeError:
+            return errors
+        if isinstance(doc, dict):
+            families = {"pase_" + key.split("{")[0] for key in doc}
+    missing = SERVE_REQUIRED_METRICS - families
+    if missing:
+        errors.append(f"metrics: missing serve families {sorted(missing)}")
     return errors
 
 
@@ -202,11 +283,16 @@ def check_manifest(path: str) -> list[str]:
 
 
 def main(argv: list[str]) -> int:
-    if len(argv) not in (2, 4):
+    serve = "--serve" in argv
+    argv = [a for a in argv if a != "--serve"]
+    if len(argv) not in (2, 4) or (serve and len(argv) != 2):
         print(__doc__, file=sys.stderr)
         return 1
     trace_path, metrics_path = argv[:2]
-    if len(argv) == 4:
+    if serve:
+        errors = check_serve_trace(trace_path) \
+            + check_serve_metrics(metrics_path)
+    elif len(argv) == 4:
         errors = check_trace(trace_path, root="fleet",
                              required=REQUIRED_FLEET_SPANS)
         errors += check_metrics(metrics_path)

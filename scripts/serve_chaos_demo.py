@@ -1,0 +1,216 @@
+#!/usr/bin/env python
+"""End-to-end robustness demo against a running ``pase serve`` daemon.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.cli serve --port 8421 --workers 4 \\
+        --max-queue 8 --allow-chaos --state-dir serve-state &
+    PYTHONPATH=src python scripts/serve_chaos_demo.py \\
+        --port 8421 --server-pid $!
+
+Drives the daemon through the failure modes the serve layer exists to
+absorb, and exits non-zero the moment any contract breaks:
+
+1. **Burst** — ``--burst`` concurrent requests spread over three
+   distinct problems, each client honoring ``Retry-After`` on 429.
+   Every request must eventually answer 200, the server must never
+   answer 5xx, duplicates of an in-flight problem must coalesce (one
+   search per distinct problem, checked against ``/metrics``), and all
+   answers for the same problem must be byte-identical.
+2. **Worker kill -9** — a long search is interrupted by SIGKILLing one
+   of the daemon's pool workers mid-request (found via ``--server-pid``;
+   skipped when not given).  The request must still answer 200 via
+   redispatch, and a follow-up request must serve the byte-identical
+   record from cache.
+3. **Poison quarantine** — a problem whose worker dies on every attempt
+   must come back as a structured 503 ``quarantined`` (never a 500) and
+   appear in ``/v1/quarantine``; the same problem with ``degrade: true``
+   must answer 200 with a resilient-coarsened strategy.
+
+Exit code 0 when every contract holds, 1 with a message otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+BURST_MODEL = {"model": "transformer", "p": 16}
+LONG_MODEL = {"model": "transformer", "p": 32}
+RETRIES_429 = 20
+
+
+class Failure(Exception):
+    pass
+
+
+def _post(base: str, doc: dict, timeout: float = 120.0):
+    # Searches are idempotent lookups, so connection-level hiccups
+    # (resets under a synthetic 32-way connect burst) are safe to retry.
+    for attempt in range(3):
+        req = urllib.request.Request(base + "/v1/search",
+                                     data=json.dumps(doc).encode())
+        try:
+            with urllib.request.urlopen(req, timeout=timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as err:
+            return err.code, err.read()
+        except (urllib.error.URLError, ConnectionError, TimeoutError):
+            if attempt == 2:
+                raise
+            time.sleep(0.2 * (attempt + 1))
+
+
+def _get_text(base: str, path: str) -> str:
+    with urllib.request.urlopen(base + path, timeout=30) as resp:
+        return resp.read().decode()
+
+
+def _metric(prom: str, name: str) -> float:
+    total = 0.0
+    for line in prom.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += float(line.rsplit(" ", 1)[1])
+    return total
+
+
+def check_burst(base: str, burst: int) -> None:
+    docs = [dict(BURST_MODEL, seed=s) for s in range(3)]
+    outcomes: list[tuple[int, bytes]] = [(0, b"")] * burst
+    retries = [0] * burst
+
+    def one(i: int) -> None:
+        doc = docs[i % len(docs)]
+        for _ in range(RETRIES_429):
+            status, body = _post(base, doc)
+            if status != 429:
+                outcomes[i] = (status, body)
+                return
+            retries[i] += 1
+            hint = json.loads(body)["error"].get("retry_after") or 1.0
+            time.sleep(min(float(hint), 5.0))
+        outcomes[i] = (429, body)
+
+    threads = [threading.Thread(target=one, args=(i,))
+               for i in range(burst)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    statuses = [s for s, _ in outcomes]
+    if any(s >= 500 for s in statuses):
+        raise Failure(f"burst produced a 5xx: {sorted(set(statuses))}")
+    if statuses != [200] * burst:
+        raise Failure(f"burst never converged to all-200: {statuses}")
+    for group in range(len(docs)):
+        # The `served` block legitimately differs per request (cached /
+        # coalesced / attempts); the strategy record must not.
+        records = {json.dumps(json.loads(body)["record"], sort_keys=True)
+                   for i, (_, body) in enumerate(outcomes)
+                   if i % len(docs) == group}
+        if len(records) != 1:
+            raise Failure(f"problem {group} answered "
+                          f"{len(records)} distinct records")
+
+    prom = _get_text(base, "/metrics")
+    coalesced = _metric(prom, "pase_serve_coalesce_hits_total")
+    if coalesced < 1:
+        raise Failure("a 3-problem burst of "
+                      f"{burst} requests never coalesced")
+    rejected = sum(retries)
+    print(f"# burst: {burst} requests over {len(docs)} problems -> "
+          f"all 200, {coalesced:.0f} coalesce hits, "
+          f"{rejected} bounded 429s, zero 5xx")
+
+
+def check_worker_kill(base: str, server_pid: int | None) -> None:
+    if server_pid is None:
+        print("# worker-kill: skipped (no --server-pid)")
+        return
+    doc = dict(LONG_MODEL, seed=100)
+    result: dict = {}
+
+    def fire() -> None:
+        result["outcome"] = _post(base, doc)
+
+    before = subprocess.run(
+        ["pgrep", "-P", str(server_pid)],
+        capture_output=True, text=True).stdout.split()
+    t = threading.Thread(target=fire)
+    t.start()
+    time.sleep(1.0)  # let the search reach a worker
+    victims = subprocess.run(
+        ["pgrep", "-P", str(server_pid)],
+        capture_output=True, text=True).stdout.split()
+    fresh = [pid for pid in victims if pid not in before] or victims
+    if not fresh:
+        raise Failure("no pool worker process found to kill")
+    os.kill(int(fresh[0]), signal.SIGKILL)
+    t.join()
+    status, body = result["outcome"]
+    if status != 200:
+        raise Failure(f"request under kill -9 answered {status}: "
+                      f"{body[:200]!r}")
+    status, again = _post(base, doc)
+    if status != 200:
+        raise Failure(f"follow-up after kill -9 answered {status}")
+    record = json.loads(body)["record"]
+    cached = json.loads(again)
+    if cached["record"] != record:
+        raise Failure("record changed across a worker kill -9")
+    if not cached["served"]["cached"]:
+        raise Failure("follow-up after kill -9 missed the result cache")
+    print(f"# worker-kill: SIGKILLed pid {fresh[0]} mid-request -> "
+          "200 via redispatch, byte-identical cached follow-up")
+
+
+def check_quarantine(base: str) -> None:
+    poison = dict(BURST_MODEL, seed=300, chaos={"kind": "exit"})
+    status, body = _post(base, poison)
+    doc = json.loads(body)
+    if status != 503 or doc["error"]["kind"] != "quarantined":
+        raise Failure(f"poison problem not quarantined: {status} {doc}")
+    listing = json.loads(_get_text(base, "/v1/quarantine"))
+    if len(listing["quarantine"]) < 1:
+        raise Failure("/v1/quarantine does not list the poison problem")
+    status, body = _post(base, dict(poison, degrade=True))
+    doc = json.loads(body)
+    if status != 200 or not doc["served"]["degraded"]:
+        raise Failure(f"degrade fallback failed: {status} {doc}")
+    if not doc["record"]["task"]["resilient"]:
+        raise Failure("degraded answer is not a resilient strategy")
+    print("# quarantine: poison 503 quarantined, listed, "
+          "degrade fallback answered 200 resilient")
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8421)
+    parser.add_argument("--burst", type=int, default=32)
+    parser.add_argument("--server-pid", type=int, default=None,
+                        help="serve daemon pid; enables the kill -9 phase")
+    args = parser.parse_args(argv)
+    base = f"http://{args.host}:{args.port}"
+    try:
+        check_burst(base, args.burst)
+        check_worker_kill(base, args.server_pid)
+        check_quarantine(base)
+    except Failure as failure:
+        print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("# serve chaos demo: every robustness contract held")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -109,6 +109,48 @@ class Problem:
     def cost_model(self) -> CostModel:
         return CostModel(self.machine)
 
+    def fingerprint(self, *, method: str = "ours", seed: int = 0,
+                    reduce: "bool | str" = False, resilient: bool = False,
+                    memory_budget: int | None = None,
+                    order: Sequence[str] | None = None) -> str:
+        """Stable content hash of one *(problem, search parameters)* cell.
+
+        The sha256 hex digest of the canonical run fingerprint
+        (`repro.runtime.run.run_fingerprint`) — the same key the
+        crash-safe journal validates on ``--resume`` and the serve
+        daemon coalesces and caches on.  It covers everything the
+        search's **answer** depends on:
+
+        * the computation graph (every node's op descriptor and every
+          edge), the machine model, and the enumerated configuration
+          space (``tables_digest``);
+        * the search parameters: ``method``, ``seed``, the resolved
+          ``reduce`` mode (plus the auto-bypass ratio when ``auto``),
+          ``resilient``, the DP ``memory_budget``, and any caller
+          ``order``.
+
+        Deliberately excluded: wall-clock deadlines, jobs/cache/kernel
+        knobs, and the observability pair — those change how fast the
+        answer arrives, not what it is.  Two problems with equal
+        fingerprints return bit-identical `SearchResult`\\ s, which is
+        exactly what makes request coalescing and cross-request result
+        caching sound.
+        """
+        import hashlib
+        import json
+
+        from .core.dp import DEFAULT_MEMORY_BUDGET
+        from .runtime.run import run_fingerprint
+
+        fp = run_fingerprint(
+            self.graph, self.space, self.cost_model(), method=method,
+            seed=seed, reduce=reduce, resilient=resilient,
+            memory_budget=(DEFAULT_MEMORY_BUDGET if memory_budget is None
+                           else memory_budget),
+            order=order)
+        return hashlib.sha256(
+            json.dumps(fp, sort_keys=True).encode()).hexdigest()
+
 
 def search(problem: Problem, *,
            method: str = "ours",

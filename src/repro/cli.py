@@ -3,6 +3,7 @@
 Subcommands::
 
     pase search   --model alexnet --p 8          find the best strategy
+    pase serve    --port 8421 --workers 4        strategy-search service
     pase simulate --model rnnlm --p 16           simulate strategies
     pase stats    --model inception_v3           graph/ordering statistics
     pase table1   [--full]                       regenerate Table I
@@ -215,6 +216,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return EXIT_QUARANTINED if report.quarantined else 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .serve import serve_forever
+
+    return serve_forever(
+        host=args.host, port=args.port, workers=args.workers,
+        max_queue=args.max_queue, max_attempts=args.max_retries + 1,
+        request_deadline=args.request_deadline,
+        memory_budget=args.memory_budget, state_dir=args.state_dir,
+        allow_chaos=args.allow_chaos, trace=args.trace,
+        metrics_path=args.metrics, verbose=args.verbose)
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     machine = _MACHINES[args.machine]
     setup = build_setup(args.model, args.p, machine=machine, mode=args.mode,
@@ -366,6 +379,12 @@ def main(argv: Sequence[str] | None = None) -> int:
             "     (resume with `search --journal-dir DIR --resume`)\n"
             "  7  fleet sweep drained, but some tasks were quarantined\n"
             "     after exhausting their retries (`sweep`)\n"
+            "\n"
+            "`serve` introduces no new exit codes: the first\n"
+            "SIGINT/SIGTERM drains in-flight requests and exits 0; a\n"
+            "second SIGINT abandons the drain and exits 6. Per-request\n"
+            "failures are HTTP statuses (400/413/429/503/504), never\n"
+            "process exits.\n"
         ))
     subs = parser.add_subparsers(dest="command", required=True)
 
@@ -447,6 +466,59 @@ def main(argv: Sequence[str] | None = None) -> int:
                          help="export fleet metrics to FILE (.prom/.txt "
                          "= Prometheus text, anything else JSON)")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_serve = subs.add_parser(
+        "serve", help="run the hardened long-running strategy-search "
+        "HTTP service (admission control, request coalescing, "
+        "poison-problem quarantine, graceful drain)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    p_serve.add_argument("--port", type=int, default=8421,
+                         help="bind port; 0 lets the OS pick (default 8421)")
+    p_serve.add_argument("--workers", type=int, default=4, metavar="N",
+                         help="search worker processes (default 4); "
+                         "searches run crash-isolated in a persistent "
+                         "pre-forked pool, so a crashing search never "
+                         "takes down the server")
+    p_serve.add_argument("--max-queue", type=int, default=16, metavar="N",
+                         help="admission window: concurrently admitted "
+                         "requests (coalesced waiters included; cache "
+                         "hits exempt) before new ones get 429 + "
+                         "Retry-After (default 16)")
+    p_serve.add_argument("--request-deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="cap on any request's wall clock, enforced "
+                         "both on the waiting client connection (504) and "
+                         "inside the worker via its RunBudget")
+    p_serve.add_argument("--memory-budget", type=int, default=None,
+                         metavar="BYTES",
+                         help="server-wide DP memory-budget ceiling; "
+                         "requests asking for more are clamped before "
+                         "fingerprinting")
+    p_serve.add_argument("--state-dir", default="pase-serve", metavar="DIR",
+                         help="persistent state root (result cache, "
+                         "quarantine, shared table cache, task dirs); a "
+                         "SIGKILLed server restarts from it intact "
+                         "(default ./pase-serve)")
+    p_serve.add_argument("--max-retries", type=int, default=2, metavar="N",
+                         help="worker deaths a problem survives before "
+                         "quarantine (default 2; quarantined problems "
+                         "answer 503, or degrade=true for a resilient "
+                         "coarsened fallback)")
+    p_serve.add_argument("--allow-chaos", action="store_true",
+                         help="accept test-only chaos hooks in requests "
+                         "(worker fault injection; never enable in "
+                         "production)")
+    p_serve.add_argument("--trace", metavar="FILE", default=None,
+                         help="write per-request nested-span trace JSONL "
+                         "(serve.request -> validate/admit/coalesce|"
+                         "search/respond)")
+    p_serve.add_argument("--metrics", metavar="FILE", default=None,
+                         help="dump final metrics on shutdown (.prom/.txt "
+                         "= Prometheus text; live scraping: GET /metrics)")
+    p_serve.add_argument("-v", "--verbose", action="store_true",
+                         help="log one line per HTTP request to stderr")
+    p_serve.set_defaults(fn=_cmd_serve)
 
     p_sim = subs.add_parser("simulate", help="simulate strategies on a cluster")
     _add_common(p_sim)

@@ -46,11 +46,14 @@ def pool_worker_main(inbox, fleet_dir: str, options: Mapping[str, Any],
                      parent_pid: int) -> None:
     """Long-lived child entry point: drain tasks until told to stop.
 
-    Protocol on ``inbox``: ``(task_dict, attempt)`` tuples to run,
-    ``None`` as a clean-shutdown sentinel.  A *failed* attempt (False
-    from `run_task_attempt`, or an escaped exception) ends the process
-    with ``os._exit(1)`` — the pool equivalent of spawn-per-task's
-    nonzero exit — so one task's damage never leaks into the next.
+    Protocol on ``inbox``: ``(task_dict, attempt, extra_options)``
+    tuples to run (``extra_options`` — ``None`` for none — is merged
+    over the pool-wide ``options``, which is how the serve daemon gives
+    each request its own deadline), ``None`` as a clean-shutdown
+    sentinel.  A *failed* attempt (False from `run_task_attempt`, or an
+    escaped exception) ends the process with ``os._exit(1)`` — the pool
+    equivalent of spawn-per-task's nonzero exit — so one task's damage
+    never leaks into the next.
     """
     from .worker import run_task_attempt
 
@@ -68,9 +71,12 @@ def pool_worker_main(inbox, fleet_dir: str, options: Mapping[str, Any],
             continue
         if item is None:
             return  # clean recycle/shutdown
-        task_dict, attempt = item
+        task_dict, attempt, extra = item
+        merged = dict(options)
+        if extra:
+            merged.update(extra)
         try:
-            ok = run_task_attempt(task_dict, attempt, fleet_dir, options)
+            ok = run_task_attempt(task_dict, attempt, fleet_dir, merged)
         except BaseException:
             os._exit(1)
         if not ok:
@@ -111,8 +117,14 @@ class WorkerPool:
     _busy: dict = field(default_factory=dict)
 
     def submit(self, task_id: str, task_dict: Mapping[str, Any],
-               attempt: int):
-        """Dispatch one task; returns the worker's process handle."""
+               attempt: int,
+               options: Mapping[str, Any] | None = None):
+        """Dispatch one task; returns the worker's process handle.
+
+        ``options`` are per-task overrides merged over the pool-wide
+        ``options`` inside the worker (e.g. a serve request's own
+        ``task_deadline``).
+        """
         worker = None
         while self._idle:
             cand = self._idle.pop()
@@ -126,7 +138,8 @@ class WorkerPool:
             self.reused += 1
             if self.on_reuse is not None:
                 self.on_reuse()
-        worker.inbox.put((dict(task_dict), attempt))
+        worker.inbox.put((dict(task_dict), attempt,
+                          None if options is None else dict(options)))
         self._busy[task_id] = worker
         return worker.process
 

@@ -14,6 +14,13 @@ format from the extension (``.prom``/``.txt`` → Prometheus, anything
 else → JSON) and writes through the journal's atomic temp-file +
 ``os.replace`` pattern so a crash never leaves a half-written export.
 
+Counters and gauges optionally carry **labels** (Prometheus dimension
+sets): ``metrics.counter("serve_requests_total", labels={"code": "200"})``
+registers one instrument per label combination under a shared family, so
+the server can count requests by status without minting a metric name
+per code.  Histograms stay label-free (their ``le`` buckets are already
+a label dimension).
+
 The default everywhere is `NULL_METRICS`, whose instruments are shared
 no-ops — the hot path pays one attribute lookup per bump, nothing more.
 """
@@ -45,6 +52,26 @@ DEFAULT_BUCKETS = (1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
 
 _NAME_RE = re.compile(r"^[a-z_][a-z0-9_]*$")
 
+#: Label values are kept simple on purpose: no quotes, backslashes, or
+#: newlines means the Prometheus exposition needs no escaping logic.
+_LABEL_VALUE_RE = re.compile(r"^[A-Za-z0-9_.:/@ -]*$")
+
+
+def _label_key(labels: "dict[str, str] | None") -> str:
+    """Canonical ``{k="v",...}`` suffix (sorted); empty for no labels."""
+    if not labels:
+        return ""
+    parts = []
+    for key in sorted(labels):
+        value = str(labels[key])
+        if not _NAME_RE.match(key):
+            raise ValueError(f"invalid label name {key!r} "
+                             "(want [a-z_][a-z0-9_]*)")
+        if not _LABEL_VALUE_RE.match(value):
+            raise ValueError(f"invalid label value {value!r} for {key!r}")
+        parts.append(f'{key}="{value}"')
+    return "{" + ",".join(parts) + "}"
+
 
 def atomic_write_text(path: "str | os.PathLike", text: str) -> None:
     """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
@@ -74,12 +101,14 @@ class Counter:
     """Monotonically increasing total."""
 
     kind = "counter"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: "dict[str, str] | None" = None) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = dict(labels) if labels else None
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
@@ -94,12 +123,14 @@ class Gauge:
     """Last-written value."""
 
     kind = "gauge"
-    __slots__ = ("name", "help", "value")
+    __slots__ = ("name", "help", "value", "labels")
 
-    def __init__(self, name: str, help: str = "") -> None:
+    def __init__(self, name: str, help: str = "",
+                 labels: "dict[str, str] | None" = None) -> None:
         self.name = name
         self.help = help
         self.value = 0.0
+        self.labels = dict(labels) if labels else None
 
     def set(self, value: float) -> None:
         self.value = float(value)
@@ -120,6 +151,7 @@ class Histogram:
     """
 
     kind = "histogram"
+    labels = None  # histograms stay label-free (``le`` is their dimension)
     __slots__ = ("name", "help", "buckets", "counts", "sum", "count")
 
     def __init__(self, name: str, help: str = "",
@@ -172,26 +204,32 @@ class Metrics:
     def __init__(self) -> None:
         self._instruments: dict[str, Any] = {}
 
-    def _get(self, cls, name: str, help: str, **kwargs):
-        inst = self._instruments.get(name)
+    def _get(self, cls, name: str, help: str,
+             labels: "dict[str, str] | None" = None, **kwargs):
+        key = name + _label_key(labels)
+        inst = self._instruments.get(key)
         if inst is not None:
             if not isinstance(inst, cls):
                 raise ValueError(
-                    f"metric {name!r} already registered as {inst.kind}, "
+                    f"metric {key!r} already registered as {inst.kind}, "
                     f"requested as {cls.kind}")
             return inst
         if not _NAME_RE.match(name):
             raise ValueError(f"invalid metric name {name!r} "
                              "(want [a-z_][a-z0-9_]*)")
+        if labels:
+            kwargs["labels"] = labels
         inst = cls(name, help, **kwargs)
-        self._instruments[name] = inst
+        self._instruments[key] = inst
         return inst
 
-    def counter(self, name: str, help: str = "") -> Counter:
-        return self._get(Counter, name, help)
+    def counter(self, name: str, help: str = "",
+                labels: "dict[str, str] | None" = None) -> Counter:
+        return self._get(Counter, name, help, labels=labels)
 
-    def gauge(self, name: str, help: str = "") -> Gauge:
-        return self._get(Gauge, name, help)
+    def gauge(self, name: str, help: str = "",
+              labels: "dict[str, str] | None" = None) -> Gauge:
+        return self._get(Gauge, name, help, labels=labels)
 
     def histogram(self, name: str, help: str = "",
                   buckets: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
@@ -199,7 +237,7 @@ class Metrics:
 
     def __iter__(self):
         return iter(sorted(self._instruments.values(),
-                           key=lambda i: i.name))
+                           key=lambda i: (i.name, _label_key(i.labels))))
 
     def __len__(self) -> int:
         return len(self._instruments)
@@ -207,18 +245,29 @@ class Metrics:
     # -- exporters -----------------------------------------------------------
 
     def to_json(self) -> str:
-        doc = {inst.name: {"kind": inst.kind, "help": inst.help,
-                           "value": inst.snapshot()}
+        doc = {inst.name + _label_key(inst.labels):
+               {"kind": inst.kind, "help": inst.help,
+                "value": inst.snapshot()}
                for inst in self}
         return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
     def to_prometheus(self, prefix: str = "pase_") -> str:
         lines: list[str] = []
+        described: set[str] = set()
         for inst in self:
             full = prefix + inst.name
-            if inst.help:
-                lines.append(f"# HELP {full} {inst.help}")
-            lines.append(f"# TYPE {full} {inst.kind}")
+            if full not in described:
+                # HELP/TYPE announce the *family* once; labelled
+                # siblings then contribute sample lines only.
+                described.add(full)
+                if inst.help:
+                    lines.append(f"# HELP {full} {inst.help}")
+                lines.append(f"# TYPE {full} {inst.kind}")
+            if inst.labels:
+                lines.append(
+                    f"{full}{_label_key(inst.labels)} "
+                    f"{inst.snapshot()!r}")
+                continue
             if inst.kind == "histogram":
                 running = 0
                 for bound, n in zip(inst.buckets, inst.counts):
@@ -250,6 +299,7 @@ class _NullInstrument:
     name = "null"
     help = ""
     kind = "null"
+    labels = None
 
     def inc(self, amount: float = 1.0) -> None:
         pass
@@ -272,10 +322,12 @@ class NullMetrics:
 
     enabled = False
 
-    def counter(self, name: str, help: str = "") -> _NullInstrument:
+    def counter(self, name: str, help: str = "",
+                labels: "dict[str, str] | None" = None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str, help: str = "") -> _NullInstrument:
+    def gauge(self, name: str, help: str = "",
+              labels: "dict[str, str] | None" = None) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def histogram(self, name: str, help: str = "",

@@ -6,6 +6,14 @@ via `RunInterrupted` at its next cooperative checkpoint with the journal
 consistent.  A *second* signal of either kind means the user wants out
 now: the original Python handler is restored and re-invoked, producing
 the ordinary `KeyboardInterrupt` / termination behavior.
+
+Registrations **compose**: entering ``trap_signals`` while another
+``trap_signals`` scope is already active (e.g. the serve daemon's drain
+handler wrapping a journalled search's handler) chains rather than
+replaces — one delivered signal flags *every* nested scope's token, so
+both the inner search unwinds and the outer server starts draining.
+Before this, the inner registration silently shadowed the outer one
+until its ``finally`` restored it.
 """
 
 from __future__ import annotations
@@ -45,6 +53,14 @@ def trap_signals(cancellation: Cancellation,
             signal.raise_signal(signum)
             return
         cancellation.set(name)
+        # Chain to an enclosing trap_signals scope (marked handlers
+        # only — never SIG_DFL/SIG_IGN or foreign handlers): nested
+        # registrations each flag their own token off one delivery.
+        outer = previous.get(signum)
+        if getattr(outer, "_pase_trap", False):
+            outer(signum, frame)
+
+    _handler._pase_trap = True  # type: ignore[attr-defined]
 
     for num in signums:
         previous[num] = signal.signal(num, _handler)

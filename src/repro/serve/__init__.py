@@ -1,0 +1,57 @@
+"""``pase serve``: the hardened, long-running strategy-search service.
+
+A zero-dependency HTTP/JSON daemon (stdlib ``http.server`` + ``json``)
+that answers *(model, machine, p, search flags)* strategy queries by
+composing the machinery the repo already trusts:
+
+* `repro.api.Problem` + the journalled `execute_search` pipeline run
+  inside crash-isolated `repro.fleet` pool workers (a search crash never
+  takes down the server);
+* the content-addressed `TableCache` shared across all workers under
+  ``--state-dir``;
+* `RunContext` per-request budgets (deadline + DP memory budget);
+* `repro.obs` metrics (Prometheus ``/metrics``) and span traces.
+
+The robustness surface:
+
+* **validation** — schema-checked requests, structured 400s before any
+  work starts (`repro.serve.wire`);
+* **admission control** — a bounded admission window, 429 +
+  ``Retry-After`` under overload, 503 while draining
+  (`repro.serve.admission`);
+* **coalescing & caching** — identical problems (keyed by the public
+  `Problem.fingerprint`) share one in-flight search; finished answers
+  come from a persistent cross-request result cache
+  (`repro.serve.coalesce`);
+* **quarantine & degradation** — a problem that kills ``max_attempts``
+  workers is quarantined (structured 503), optionally answered by the
+  resilient degradation ladder instead (`repro.serve.engine`);
+* **lifecycle** — SIGTERM drains then exits 0; a SIGKILLed server
+  restarts from ``--state-dir`` with its quarantine and result cache
+  intact (`repro.serve.server`).
+"""
+
+from .admission import AdmissionController, AdmissionFull
+from .coalesce import Quarantine, ResultCache
+from .engine import SearchEngine
+from .server import StrategyServer, serve_forever
+from .wire import (
+    ServeError,
+    ServeRequest,
+    validate_request,
+    WIRE_VERSION,
+)
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionFull",
+    "Quarantine",
+    "ResultCache",
+    "SearchEngine",
+    "ServeError",
+    "ServeRequest",
+    "StrategyServer",
+    "serve_forever",
+    "validate_request",
+    "WIRE_VERSION",
+]

@@ -1,0 +1,132 @@
+"""Admission control and backpressure for the serve daemon.
+
+The `AdmissionController` bounds how much concurrently-admitted work the
+server holds: every validated request that needs an answer from the
+engine (a new search *or* a coalesced wait on someone else's search)
+occupies one admission slot from acceptance until its response is
+determined.  Cache hits and rejections never take a slot — they do no
+work worth bounding.
+
+When the window is full the request is refused with `AdmissionFull`
+(HTTP 429) and a ``Retry-After`` hint derived from the observed service
+rate, so well-behaved clients back off proportionally to the actual
+overload instead of hammering a fixed interval.
+
+Draining flips one switch: new admissions are refused with a structured
+503 (and ``/readyz`` reports 503) while already-admitted requests run to
+completion — exactly the SIGTERM contract.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from .wire import ServeError
+
+__all__ = ["AdmissionController", "AdmissionFull", "Draining"]
+
+#: Retry-After floor/ceiling (seconds) — never tell a client "0" (it
+#: will immediately retry into the same full window) and never park one
+#: for minutes on a stale estimate.
+MIN_RETRY_AFTER = 1.0
+MAX_RETRY_AFTER = 30.0
+
+
+class AdmissionFull(ServeError):
+    """The admission window is full: HTTP 429 + Retry-After."""
+
+    def __init__(self, limit: int, retry_after: float) -> None:
+        super().__init__(
+            429, "queue-full",
+            f"admission window full ({limit} requests in flight); "
+            "retry later",
+            retry_after=retry_after)
+
+
+class Draining(ServeError):
+    """The server is draining for shutdown: HTTP 503."""
+
+    def __init__(self) -> None:
+        super().__init__(503, "draining",
+                         "server is draining for shutdown",
+                         retry_after=MIN_RETRY_AFTER)
+
+
+class AdmissionController:
+    """Bounded admission window with a service-rate Retry-After hint."""
+
+    def __init__(self, max_queue: int, *, workers: int = 1,
+                 clock=time.monotonic) -> None:
+        if max_queue < 1:
+            raise ValueError(f"max_queue={max_queue} must be >= 1")
+        self.max_queue = int(max_queue)
+        self.workers = max(1, int(workers))
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._admitted = 0
+        self._draining = False
+        self._drained = threading.Condition(self._lock)
+        # Exponential moving average of per-request service seconds,
+        # seeded pessimistically so a cold server doesn't promise
+        # instant retries.
+        self._avg_service_seconds = 2.0
+
+    # -- admission -----------------------------------------------------------
+
+    def admit(self) -> None:
+        """Take one slot or raise `AdmissionFull` / `Draining`."""
+        with self._lock:
+            if self._draining:
+                raise Draining()
+            if self._admitted >= self.max_queue:
+                raise AdmissionFull(self.max_queue, self.retry_after())
+            self._admitted += 1
+
+    def release(self, service_seconds: float | None = None) -> None:
+        """Give a slot back; optionally record the service time."""
+        with self._lock:
+            self._admitted = max(0, self._admitted - 1)
+            if service_seconds is not None and service_seconds >= 0:
+                self._avg_service_seconds = (
+                    0.8 * self._avg_service_seconds + 0.2 * service_seconds)
+            self._drained.notify_all()
+
+    def retry_after(self) -> float:
+        """Backoff hint: expected seconds until a slot opens, i.e. the
+        admitted backlog divided across the worker width at the observed
+        per-request service rate."""
+        est = self._avg_service_seconds * self._admitted / self.workers
+        return max(MIN_RETRY_AFTER, min(MAX_RETRY_AFTER, est))
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def admitted(self) -> int:
+        with self._lock:
+            return self._admitted
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start_draining(self) -> None:
+        """Refuse new admissions from now on (idempotent)."""
+        with self._lock:
+            self._draining = True
+            self._drained.notify_all()
+
+    def wait_drained(self, timeout: float | None = None) -> bool:
+        """Block until every admitted request released; True if drained."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._lock:
+            while self._admitted > 0:
+                remaining = (None if deadline is None
+                             else deadline - self._clock())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._drained.wait(remaining)
+            return True

@@ -1,0 +1,540 @@
+"""The search engine behind the serve daemon.
+
+One `SearchEngine` owns a persistent `repro.fleet.pool.WorkerPool` and a
+single **dispatcher thread** that does *all* pool bookkeeping — submit,
+reap, straggler kill, retry, quarantine — exactly like the fleet
+supervisor's drain loop, while HTTP handler threads only enqueue work
+and wait on events.  Searches run in crash-isolated child processes over
+the fleet's file protocol (``result.json`` / ``error.json`` /
+``heartbeat.json`` under ``<state_dir>/tasks/<task_id>/``), so a search
+that segfaults, OOMs, or wedges never takes down the server.
+
+Request flow (handler thread side):
+
+1. ``fingerprint_of(task)`` — the public `Problem.fingerprint` digest,
+   computed against a process-local memo of built problems so a warm
+   lookup costs microseconds, not a graph build.
+2. `ResultCache` hit → answered immediately, no admission slot, no
+   worker.
+3. `Quarantine` hit → structured 503 — or, when the request opted in
+   with ``degrade``, a **degraded** search: ``resilient=True`` with a
+   coarsened enumeration mode, under its own fingerprint.
+4. Otherwise the request joins the in-flight **flight** for its
+   fingerprint (request coalescing: N identical requests, one search)
+   or creates a new one, then waits on the flight's event with its own
+   deadline.
+
+Dispatcher side, per flight: adopt an existing on-disk result if one
+matches (same rule as fleet resume adoption), else dispatch to a pool
+worker with the request's own ``task_deadline``; a failed attempt burns
+the worker process (crash isolation) and retries with deterministic
+backoff; ``max_attempts`` failures quarantine the fingerprint — every
+coalesced waiter gets the same structured 503, persisted so a restarted
+server refuses the poison problem without re-burning workers.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Mapping
+
+from ..fleet.pool import WorkerPool
+from ..fleet.spec import SweepTask
+from ..fleet.worker import read_json, task_dir
+from ..obs.metrics import NULL_METRICS
+from .coalesce import Quarantine, ResultCache
+from .wire import ServeError, ServeRequest
+
+__all__ = ["SearchEngine", "EngineResult", "DEFAULT_MAX_ATTEMPTS",
+           "DEGRADE_LADDER"]
+
+#: Total attempts a fingerprint gets before quarantine (fleet default).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: Heartbeat age (seconds) past which a worker is SIGKILLed.
+DEFAULT_STRAGGLER_AFTER_SECONDS = 60.0
+
+#: Dispatcher loop poll period (seconds) — the fleet supervisor's
+#: cadence.  Searches run 0.1-10s, so dispatch latency is noise there,
+#: and cache hits never touch the dispatcher at all.
+POLL_INTERVAL_SECONDS = 0.05
+
+#: Retry backoff base/cap (seconds) — much tighter than the fleet's:
+#: a waiting HTTP client should not watch a 30s backoff ladder.
+BACKOFF_BASE_SECONDS = 0.05
+BACKOFF_CAP_SECONDS = 1.0
+
+#: The degradation ladder: a quarantined problem retried with
+#: ``degrade: true`` runs resilient with a coarser enumeration mode —
+#: a cheaper, sturdier search that answers *something* principled.
+DEGRADE_LADDER = {"all": "divisors", "divisors": "pow2", "pow2": "pow2"}
+
+#: Bound on the process-local problem memo (distinct (model, machine,
+#: p, mode) cells kept hot for fast fingerprints).
+_PROBLEM_MEMO_MAX = 8
+
+
+def _backoff(task_id: str, attempts: int) -> float:
+    """Deterministic per-(task, attempt) backoff, fleet-style jitter."""
+    delay = min(BACKOFF_CAP_SECONDS,
+                BACKOFF_BASE_SECONDS * (2.0 ** max(attempts - 1, 0)))
+    jitter = random.Random(f"{task_id}:{attempts}").uniform(0.0, 0.5)
+    return delay * (1.0 + jitter)
+
+
+def quarantined_error(fingerprint: str, entry: Mapping[str, Any],
+                      *, degradable: bool) -> ServeError:
+    """The structured 503 every waiter on a poison fingerprint gets."""
+    hint = ("resubmit with degrade=true for a resilient, coarsened "
+            "fallback search" if degradable else
+            "the degraded fallback failed too")
+    return ServeError(
+        503, "quarantined",
+        f"problem is quarantined after {entry.get('attempts', '?')} "
+        f"failed attempts; {hint}",
+        detail={"fingerprint": fingerprint,
+                "attempts": entry.get("attempts"),
+                "last_error_kind": entry.get("kind"),
+                "last_error": entry.get("detail")})
+
+
+@dataclass
+class EngineResult:
+    """One answered request: the deterministic record + how it was served."""
+
+    fingerprint: str
+    record: dict[str, Any]
+    cached: bool = False
+    coalesced: bool = False
+    attempts: int = 0
+    degraded: bool = False
+
+
+@dataclass
+class _Flight:
+    """One in-flight search shared by every coalesced waiter."""
+
+    fingerprint: str
+    task: SweepTask
+    deadline: float | None                 # worker-side budget (seconds)
+    event: threading.Event = field(default_factory=threading.Event)
+    waiters: int = 1
+    attempts: int = 0
+    outcome: Any = None                    # EngineResult | ServeError
+    process: Any = None                    # pool process while running
+    started: float = 0.0                   # monotonic dispatch time
+    next_eligible: float = 0.0
+    straggler_killed: bool = False
+
+
+class SearchEngine:
+    """Coalescing, quarantining, crash-isolated search executor.
+
+    Parameters
+    ----------
+    state_dir:
+        Root for everything persistent: ``tasks/<task_id>/`` worker
+        protocol dirs, the shared ``table-cache``, ``results.json``
+        (result cache), ``quarantine.json``.  Restarting a (possibly
+        SIGKILLed) server on the same directory restores all of it.
+    workers:
+        Pool width — maximum concurrently running search processes.
+    max_attempts:
+        Worker deaths a fingerprint survives before quarantine.
+    default_deadline:
+        Worker-side wall-clock budget applied when a request carries no
+        ``deadline`` of its own.
+    memory_budget:
+        Server-wide DP memory-budget cap; a request asking for more is
+        clamped (the budget rides inside the task fingerprint, so the
+        clamp happens before fingerprinting).
+    """
+
+    def __init__(self, state_dir: str | os.PathLike, *,
+                 workers: int = 4,
+                 max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+                 default_deadline: float | None = None,
+                 memory_budget: int | None = None,
+                 straggler_after: float = DEFAULT_STRAGGLER_AFTER_SECONDS,
+                 metrics=NULL_METRICS) -> None:
+        if workers < 1:
+            raise ValueError(f"workers={workers} must be >= 1")
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts={max_attempts} must be >= 1")
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.workers = workers
+        self.max_attempts = max_attempts
+        self.default_deadline = default_deadline
+        self.memory_budget = memory_budget
+        self.straggler_after = straggler_after
+        self.metrics = metrics
+        self.cache = ResultCache(self.state_dir / "results.json")
+        self.quarantine = Quarantine(self.state_dir / "quarantine.json")
+        self._lock = threading.Lock()
+        self._flights: dict[str, _Flight] = {}
+        self._inbox: "queue.Queue[_Flight]" = queue.Queue()
+        self._problems: dict = {}
+        self._stop = threading.Event()
+        self._mp = multiprocessing.get_context()
+        self._pool = WorkerPool(
+            mp_ctx=self._mp, fleet_dir=str(self.state_dir),
+            options={"task_deadline": default_deadline},
+            max_workers=workers,
+            on_spawn=metrics.counter(
+                "serve_worker_spawned_total",
+                "serve pool worker processes forked").inc,
+            on_reuse=metrics.counter(
+                "serve_worker_reused_total",
+                "serve searches run on an already-warm pool worker").inc)
+        self._coalesce_hits = metrics.counter(
+            "serve_coalesce_hits_total",
+            "requests answered by joining an in-flight identical search")
+        self._cache_hits = metrics.counter(
+            "serve_result_cache_hits_total",
+            "requests answered from the cross-request result cache")
+        self._searches = metrics.counter(
+            "serve_searches_total", "searches completed by pool workers")
+        self._retries = metrics.counter(
+            "serve_retries_total", "search attempt retries after failure")
+        self._crashes = metrics.counter(
+            "serve_worker_crashes_total",
+            "search attempts that died without an error report")
+        self._quarantined = metrics.counter(
+            "serve_quarantined_total", "fingerprints quarantined")
+        self._depth = metrics.gauge(
+            "serve_queue_depth", "in-flight searches (waiting + running)")
+        self._dispatcher = threading.Thread(
+            target=self._run_dispatcher, daemon=True, name="serve-dispatcher")
+        self._dispatcher.start()
+
+    # -- handler-thread API --------------------------------------------------
+
+    def normalize(self, task: SweepTask) -> SweepTask:
+        """Apply server-wide clamps (DP memory budget) to a request task.
+
+        Must run before fingerprinting: the clamped budget is part of
+        the answer, so two requests above the cap coalesce correctly.
+        """
+        if self.memory_budget is not None and (
+                task.memory_budget is None
+                or task.memory_budget > self.memory_budget):
+            return SweepTask(**{**task.to_dict(),
+                                "memory_budget": self.memory_budget,
+                                "chaos": task.chaos})
+        return task
+
+    def fingerprint_of(self, task: SweepTask) -> str:
+        """`Problem.fingerprint` of one task, via a hot problem memo."""
+        from ..api import Problem
+        from ..core.machine import MACHINES
+
+        key = (task.model, task.machine, task.p, task.mode)
+        with self._lock:
+            prob = self._problems.get(key)
+        if prob is None:
+            prob = Problem.from_benchmark(
+                task.model, task.p, machine=MACHINES[task.machine],
+                mode=task.mode)
+            with self._lock:
+                while len(self._problems) >= _PROBLEM_MEMO_MAX:
+                    self._problems.pop(next(iter(self._problems)))
+                self._problems[key] = prob
+        return prob.fingerprint(
+            method=task.method, seed=task.seed, reduce=task.reduce,
+            resilient=task.resilient, memory_budget=task.memory_budget)
+
+    def cached(self, fingerprint: str) -> dict | None:
+        """Result-cache lookup (counts a hit metric when it lands)."""
+        rec = self.cache.get(fingerprint)
+        if rec is not None:
+            with self._lock:
+                self._cache_hits.inc()
+        return rec
+
+    def execute(self, request: ServeRequest,
+                fingerprint: str | None = None) -> EngineResult:
+        """Answer one admitted request; blocks, raises `ServeError`.
+
+        ``fingerprint`` lets the server reuse the digest it computed for
+        the cache fast path; the task must already be normalized then.
+        """
+        task = request.task if fingerprint is not None \
+            else self.normalize(request.task)
+        fp = fingerprint if fingerprint is not None \
+            else self.fingerprint_of(task)
+        rec = self.cached(fp)
+        if rec is not None:
+            return EngineResult(fingerprint=fp, record=rec, cached=True)
+        entry = self.quarantine.get(fp)
+        if entry is not None:
+            if request.degrade:
+                return self._execute_degraded(task, request.deadline)
+            raise quarantined_error(fp, entry, degradable=True)
+        flight, coalesced = self._join(fp, task, request.deadline)
+        try:
+            return self._await(flight, coalesced, request.deadline)
+        finally:
+            with self._lock:
+                flight.waiters -= 1
+
+    def quarantine_snapshot(self) -> dict[str, dict]:
+        return self.quarantine.snapshot()
+
+    # -- degradation ladder --------------------------------------------------
+
+    def _execute_degraded(self, task: SweepTask,
+                          deadline: float | None) -> EngineResult:
+        """Quarantined-problem fallback: resilient + coarsened mode."""
+        degraded_task = SweepTask(**{
+            **task.to_dict(),
+            "mode": DEGRADE_LADDER.get(task.mode, "pow2"),
+            "resilient": True,
+            "chaos": None,  # never degrade *into* an injected fault
+        })
+        fp = self.fingerprint_of(degraded_task)
+        rec = self.cached(fp)
+        if rec is not None:
+            return EngineResult(fingerprint=fp, record=rec, cached=True,
+                                degraded=True)
+        entry = self.quarantine.get(fp)
+        if entry is not None:
+            raise quarantined_error(fp, entry, degradable=False)
+        flight, coalesced = self._join(fp, degraded_task, deadline)
+        try:
+            result = self._await(flight, coalesced, deadline)
+        finally:
+            with self._lock:
+                flight.waiters -= 1
+        result.degraded = True
+        return result
+
+    # -- coalescing ----------------------------------------------------------
+
+    def _join(self, fp: str, task: SweepTask,
+              deadline: float | None) -> tuple[_Flight, bool]:
+        """Join the in-flight search for ``fp``, creating it if needed."""
+        with self._lock:
+            flight = self._flights.get(fp)
+            if flight is not None:
+                flight.waiters += 1
+                self._coalesce_hits.inc()
+                return flight, True
+            flight = _Flight(
+                fingerprint=fp, task=task,
+                deadline=(deadline if deadline is not None
+                          else self.default_deadline))
+            self._flights[fp] = flight
+        self._inbox.put(flight)
+        return flight, False
+
+    def _await(self, flight: _Flight, coalesced: bool,
+               deadline: float | None) -> EngineResult:
+        if not flight.event.wait(timeout=deadline):
+            raise ServeError(
+                504, "deadline",
+                f"request deadline of {deadline:.1f}s expired; the "
+                "search continues and will be served from cache",
+                detail={"fingerprint": flight.fingerprint})
+        outcome = flight.outcome
+        if isinstance(outcome, ServeError):
+            raise outcome
+        assert isinstance(outcome, EngineResult)
+        return EngineResult(
+            fingerprint=outcome.fingerprint, record=outcome.record,
+            cached=outcome.cached, coalesced=coalesced,
+            attempts=outcome.attempts, degraded=outcome.degraded)
+
+    # -- dispatcher thread (all pool bookkeeping lives here) -----------------
+
+    def _run_dispatcher(self) -> None:
+        waiting: list[_Flight] = []
+        running: dict[str, _Flight] = {}
+        while not self._stop.is_set():
+            self._drain_inbox(waiting, running)
+            # Reap before dispatching so a worker freed this cycle picks
+            # up waiting work immediately instead of idling a full poll.
+            self._reap(running, waiting)
+            self._dispatch(waiting, running)
+            self._kill_stragglers(running)
+            with self._lock:
+                self._depth.set(len(waiting) + len(running))
+            time.sleep(POLL_INTERVAL_SECONDS)
+        # Forced shutdown: answer every remaining waiter rather than
+        # leaving HTTP threads parked on events that will never fire.
+        self._drain_inbox(waiting, running)
+        err = ServeError(503, "draining",
+                         "server shut down before the search finished")
+        for flight in waiting + list(running.values()):
+            self._finish(flight, err, running)
+
+    def _drain_inbox(self, waiting: list[_Flight],
+                     running: dict[str, _Flight]) -> None:
+        while True:
+            try:
+                flight = self._inbox.get_nowait()
+            except queue.Empty:
+                return
+            # Adopt a finished result already on disk (server restart,
+            # prior fleet run on the same state dir) — same content-hash
+            # adoption rule as fleet resume; never touches the pool.
+            if not self._adopt(flight, running):
+                waiting.append(flight)
+
+    def _adopt(self, flight: _Flight,
+               running: dict[str, _Flight]) -> bool:
+        tid = flight.task.task_id
+        doc = read_json(task_dir(self.state_dir, tid) / "result.json")
+        if doc is None or doc.get("record", {}).get("task_id") != tid:
+            return False
+        self._succeed(flight, doc["record"], running)
+        return True
+
+    def _dispatch(self, waiting: list[_Flight],
+                  running: dict[str, _Flight]) -> None:
+        now = time.monotonic()
+        for flight in list(waiting):
+            if len(running) >= self.workers:
+                return
+            if flight.next_eligible > now:
+                continue
+            waiting.remove(flight)
+            tid = flight.task.task_id
+            tdir = task_dir(self.state_dir, tid)
+            tdir.mkdir(parents=True, exist_ok=True)
+            # Staleness is measured against *this* attempt's process.
+            (tdir / "heartbeat.json").unlink(missing_ok=True)
+            flight.attempts += 1
+            options = None
+            if flight.deadline is not None:
+                options = {"task_deadline": flight.deadline}
+            flight.process = self._pool.submit(
+                tid, flight.task.to_dict(), flight.attempts, options)
+            flight.started = now
+            flight.straggler_killed = False
+            running[flight.fingerprint] = flight
+
+    def _reap(self, running: dict[str, _Flight],
+              waiting: list[_Flight]) -> None:
+        for fp in list(running):
+            flight = running[fp]
+            tid = flight.task.task_id
+            tdir = task_dir(self.state_dir, tid)
+            # Pool workers outlive their tasks: completion is the atomic
+            # result.json write; a dead process without one is the
+            # failure signal (burned on error, SIGKILLed, real crash).
+            result = read_json(tdir / "result.json")
+            attempt_ok = (result is not None and
+                          result.get("record", {}).get("task_id") == tid)
+            if flight.process.is_alive() and not attempt_ok:
+                continue
+            if not flight.process.is_alive():
+                flight.process.join()
+            exitcode = 0 if attempt_ok else flight.process.exitcode
+            self._pool.release(tid)
+            del running[fp]
+            if attempt_ok:
+                with self._lock:
+                    self._searches.inc()
+                self._succeed(flight, result["record"], running)
+                continue
+            kind, detail = self._failure_of(flight, exitcode, tdir)
+            if kind == "crash":
+                with self._lock:
+                    self._crashes.inc()
+            if flight.attempts >= self.max_attempts:
+                entry = self.quarantine.add(
+                    fp, attempts=flight.attempts, kind=kind, detail=detail,
+                    label=flight.task.label)
+                with self._lock:
+                    self._quarantined.inc()
+                self._finish(flight,
+                             quarantined_error(fp, entry, degradable=True),
+                             running)
+            else:
+                with self._lock:
+                    self._retries.inc()
+                flight.next_eligible = time.monotonic() + _backoff(
+                    tid, flight.attempts)
+                waiting.append(flight)
+
+    @staticmethod
+    def _failure_of(flight: _Flight, exitcode: int | None,
+                    tdir: Path) -> tuple[str, str]:
+        """Classify a failed attempt from the evidence left behind."""
+        if flight.straggler_killed:
+            return "straggler", "heartbeat went stale; worker SIGKILLed"
+        err = read_json(tdir / "error.json")
+        if err is not None and int(err.get("attempt", -1)) == flight.attempts:
+            return (str(err.get("kind", "error")),
+                    f"{err.get('type', 'Exception')}: "
+                    f"{err.get('detail', '?')}")
+        return "crash", (f"worker died with exit code {exitcode} and no "
+                         "error report")
+
+    def _kill_stragglers(self, running: dict[str, _Flight]) -> None:
+        now = time.monotonic()
+        wall_now = time.time()
+        for flight in running.values():
+            if not flight.process.is_alive() or flight.straggler_killed:
+                continue
+            age = now - flight.started
+            if age < self.straggler_after:
+                continue  # dispatch grace: younger than the threshold
+            hb = read_json(
+                task_dir(self.state_dir, flight.task.task_id)
+                / "heartbeat.json")
+            hb_age = (wall_now - float(hb["time"])) if hb else age
+            if hb_age < self.straggler_after:
+                continue
+            flight.straggler_killed = True
+            with self._lock:
+                self.metrics.counter(
+                    "serve_stragglers_killed_total",
+                    "straggling serve workers SIGKILLed").inc()
+            flight.process.kill()
+
+    def _succeed(self, flight: _Flight, record: Mapping[str, Any],
+                 running: dict[str, _Flight]) -> None:
+        self.cache.put(flight.fingerprint, record)
+        self._finish(
+            flight,
+            EngineResult(fingerprint=flight.fingerprint, record=dict(record),
+                         attempts=flight.attempts),
+            running)
+
+    def _finish(self, flight: _Flight, outcome: Any,
+                running: dict[str, _Flight]) -> None:
+        with self._lock:
+            self._flights.pop(flight.fingerprint, None)
+        running.pop(flight.fingerprint, None)
+        flight.outcome = outcome
+        flight.event.set()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, grace: float = 2.0) -> None:
+        """Stop the dispatcher and the pool; flush persistent state.
+
+        Call after draining: any flight still in the air is answered
+        with a structured 503 so no waiter hangs forever.
+        """
+        self._stop.set()
+        self._dispatcher.join(timeout=max(grace, 5.0))
+        self._pool.shutdown(grace)
+        self.cache.flush()
+        self.quarantine.flush()
+
+    def __enter__(self) -> "SearchEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False

@@ -1,0 +1,231 @@
+"""Wire schemas for the serve daemon: requests, responses, errors.
+
+Everything that crosses the HTTP boundary is defined here, so the
+handler and engine never guess at shapes:
+
+* :func:`validate_request` turns a decoded JSON body into a
+  `ServeRequest` or raises a `ServeError` carrying a structured 400 —
+  every problem found, each with the offending ``field`` — *before* any
+  search work starts.
+* `ServeError` is the one exception the HTTP layer translates: it
+  carries the status code, a machine-readable ``kind``, optional
+  per-field detail, and an optional ``Retry-After`` hint.
+* :func:`success_body` / `ServeError.body` are the only two response
+  shapes the server emits, both deterministic (sorted keys) so
+  identical answers are byte-identical on the wire.
+
+The deterministic ``record`` inside a success body is exactly the fleet
+worker's result record (task, cost, method, strategy) — byte-identical
+across cache hits, coalesced waiters, retries, and server restarts for
+equal request fingerprints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from ..core.exceptions import PaseError
+from ..fleet.spec import SweepSpecError, SweepTask
+
+__all__ = ["WIRE_VERSION", "MAX_BODY_BYTES", "MAX_P", "ServeError",
+           "ServeRequest", "validate_request", "success_body",
+           "encode_body"]
+
+#: Response schema version, embedded in every body.
+WIRE_VERSION = 1
+
+#: Largest request body the server will read (a valid request is <1 KiB;
+#: anything larger is garbage or abuse).
+MAX_BODY_BYTES = 64 * 1024
+
+#: Largest device count a request may ask for: the configuration-space
+#: enumeration is exponential-ish in log2(p), so this is an admission
+#: decision, not a numeric limit.
+MAX_P = 1024
+
+
+class ServeError(PaseError):
+    """A structured, HTTP-mappable serve failure.
+
+    Parameters
+    ----------
+    status:
+        HTTP status code (400, 413, 429, 503, 504, ...).
+    kind:
+        Machine-readable failure class (``invalid-request``,
+        ``queue-full``, ``quarantined``, ``deadline``, ``resource``,
+        ``draining``, ...).
+    message:
+        Human-readable one-liner.
+    errors:
+        Optional per-field problems, each ``{"field": ..., "message":
+        ...}`` (validation failures carry every problem found).
+    retry_after:
+        Optional client backoff hint in seconds (429/503 responses emit
+        it as a ``Retry-After`` header too).
+    detail:
+        Optional extra context (e.g. the quarantined fingerprint and
+        last worker error).
+    """
+
+    def __init__(self, status: int, kind: str, message: str, *,
+                 errors: list[dict[str, str]] | None = None,
+                 retry_after: float | None = None,
+                 detail: Mapping[str, Any] | None = None) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.kind = kind
+        self.message = message
+        self.errors = errors or []
+        self.retry_after = retry_after
+        self.detail = dict(detail) if detail else {}
+
+    def body(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {
+            "version": WIRE_VERSION,
+            "error": {"kind": self.kind, "message": self.message},
+        }
+        if self.errors:
+            doc["error"]["errors"] = self.errors
+        if self.retry_after is not None:
+            doc["error"]["retry_after"] = round(float(self.retry_after), 3)
+        if self.detail:
+            doc["error"]["detail"] = self.detail
+        return doc
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One validated strategy query, ready for the engine.
+
+    ``task`` is the fleet `SweepTask` the worker will execute;
+    ``deadline`` caps this request's wall clock (both the waiter and the
+    worker's `RunBudget`); ``degrade`` opts into the resilient
+    degradation ladder as a fallback when the problem is quarantined.
+    """
+
+    task: SweepTask
+    deadline: float | None = None
+    degrade: bool = False
+    raw: Mapping[str, Any] = field(default_factory=dict)
+
+
+#: Request fields: name -> (accepted types, default).  ``p`` and
+#: ``model`` are required (default is the REQUIRED sentinel).
+_REQUIRED = object()
+_FIELDS: dict[str, tuple[tuple[type, ...], Any]] = {
+    "model": ((str,), _REQUIRED),
+    "p": ((int,), _REQUIRED),
+    "machine": ((str,), "1080ti"),
+    "mode": ((str,), "pow2"),
+    "method": ((str,), "ours"),
+    "seed": ((int,), 0),
+    "reduce": ((bool, str), False),
+    "resilient": ((bool,), False),
+    "memory_budget": ((int,), None),
+    "deadline": ((int, float), None),
+    "degrade": ((bool,), False),
+    "chaos": ((dict,), None),
+}
+
+
+def validate_request(doc: Any, *, allow_chaos: bool = False,
+                     max_deadline: float | None = None) -> ServeRequest:
+    """Schema-check one decoded request body; raises `ServeError` (400).
+
+    Collects *every* problem before failing, so a client fixing its
+    request sees the full list at once.  ``chaos`` (the fleet's
+    test-only worker-misbehaviour hook) is rejected unless the server
+    was started with ``--allow-chaos`` — production servers never run
+    client-injected faults.
+    """
+    if not isinstance(doc, dict):
+        raise ServeError(400, "invalid-request",
+                         "request body must be a JSON object")
+    errors: list[dict[str, str]] = []
+    unknown = set(doc) - set(_FIELDS)
+    for name in sorted(unknown):
+        errors.append({"field": name, "message": "unknown field"})
+    values: dict[str, Any] = {}
+    for name, (types, default) in _FIELDS.items():
+        if name not in doc:
+            if default is _REQUIRED:
+                errors.append({"field": name, "message": "required"})
+            else:
+                values[name] = default
+            continue
+        val = doc[name]
+        # bool is an int subclass; don't let `true` pass as a p.
+        if isinstance(val, bool) and bool not in types:
+            errors.append({"field": name,
+                           "message": f"expected {types[0].__name__}"})
+            continue
+        if val is not None and not isinstance(val, types):
+            errors.append({"field": name,
+                           "message": f"expected {types[0].__name__}"})
+            continue
+        values[name] = val
+
+    if errors:
+        raise ServeError(400, "invalid-request", "request failed validation",
+                         errors=errors)
+
+    if values["p"] > MAX_P:
+        errors.append({"field": "p",
+                       "message": f"p={values['p']} exceeds the service "
+                       f"limit of {MAX_P}"})
+    if isinstance(values["reduce"], str) and \
+            values["reduce"] not in ("off", "never", "auto", "always"):
+        errors.append({"field": "reduce",
+                       "message": "expected a bool or one of "
+                       "off/never/auto/always"})
+    deadline = values.pop("deadline")
+    if deadline is not None and deadline <= 0:
+        errors.append({"field": "deadline", "message": "must be positive"})
+    if max_deadline is not None:
+        deadline = (max_deadline if deadline is None
+                    else min(float(deadline), max_deadline))
+    degrade = values.pop("degrade")
+    chaos = values.pop("chaos")
+    if chaos is not None and not allow_chaos:
+        errors.append({"field": "chaos",
+                       "message": "chaos injection is disabled on this "
+                       "server (start with --allow-chaos)"})
+    if errors:
+        raise ServeError(400, "invalid-request", "request failed validation",
+                         errors=errors)
+
+    try:
+        task = SweepTask(chaos=chaos, **values)
+        task.validate()
+    except SweepSpecError as err:
+        raise ServeError(400, "invalid-request", str(err)) from None
+    return ServeRequest(task=task,
+                        deadline=None if deadline is None
+                        else float(deadline),
+                        degrade=degrade, raw=doc)
+
+
+def success_body(fingerprint: str, record: Mapping[str, Any], *,
+                 cached: bool, coalesced: bool, attempts: int,
+                 degraded: bool = False) -> dict[str, Any]:
+    """The one success shape: deterministic record + served metadata."""
+    return {
+        "version": WIRE_VERSION,
+        "fingerprint": fingerprint,
+        "record": dict(record),
+        "served": {
+            "cached": bool(cached),
+            "coalesced": bool(coalesced),
+            "attempts": int(attempts),
+            "degraded": bool(degraded),
+        },
+    }
+
+
+def encode_body(doc: Mapping[str, Any]) -> bytes:
+    """Canonical wire encoding (sorted keys, trailing newline)."""
+    return (json.dumps(doc, sort_keys=True, indent=None,
+                       separators=(",", ":")) + "\n").encode("utf-8")

@@ -135,6 +135,20 @@ class TestPoolBookkeeping:
         assert idle_inbox is not None and idle_inbox.items[-1] is None
         assert pool._busy == {} and pool._idle == []
 
+    def test_per_task_options_ride_the_inbox(self):
+        pool = make_pool(max_workers=1)
+        pool.submit("t0", {"model": "alexnet"}, 1,
+                    options={"task_deadline": 1.5})
+        inbox = pool._busy["t0"].inbox
+        task_dict, attempt, extra = inbox.items[-1]
+        assert task_dict == {"model": "alexnet"}
+        assert attempt == 1
+        assert extra == {"task_deadline": 1.5}
+        pool.release("t0")
+        # Omitted options travel as None, not an empty dict.
+        pool.submit("t1", {}, 2)
+        assert pool._busy["t1"].inbox.items[-1] == ({}, 2, None)
+
 
 class TestPoolWorkerProcess:
     def test_orphan_exits_when_parent_is_gone(self):

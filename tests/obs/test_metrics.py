@@ -131,3 +131,49 @@ def test_null_metrics_is_inert(tmp_path):
 def test_default_buckets_sorted_and_sub_second():
     assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
     assert DEFAULT_BUCKETS[0] == 1e-6 and DEFAULT_BUCKETS[-1] == 1.0
+
+
+def test_labels_create_distinct_instruments():
+    m = Metrics()
+    ok = m.counter("requests_total", labels={"code": "200"})
+    bad = m.counter("requests_total", labels={"code": "500"})
+    assert ok is not bad
+    ok.inc(3)
+    bad.inc()
+    assert ok.snapshot() == 3 and bad.snapshot() == 1
+    # Same name+labels is the same instrument.
+    assert m.counter("requests_total", labels={"code": "200"}) is ok
+    assert len(m) == 2
+
+
+def test_labeled_family_shares_one_prometheus_header():
+    m = Metrics()
+    m.counter("requests_total", "How many", labels={"code": "200"}).inc()
+    m.counter("requests_total", "How many", labels={"code": "429"}).inc(2)
+    prom = m.to_prometheus()
+    assert prom.count("# HELP pase_requests_total") == 1
+    assert prom.count("# TYPE pase_requests_total counter") == 1
+    assert 'pase_requests_total{code="200"} 1' in prom
+    assert 'pase_requests_total{code="429"} 2' in prom
+
+
+def test_labeled_to_json_keys_carry_label_suffix():
+    m = Metrics()
+    m.counter("requests_total", labels={"code": "200"}).inc()
+    doc = json.loads(m.to_json())
+    assert doc['requests_total{code="200"}']["value"] == 1
+    assert doc['requests_total{code="200"}']["kind"] == "counter"
+
+
+def test_invalid_label_names_and_values_raise():
+    m = Metrics()
+    with pytest.raises(ValueError):
+        m.counter("x_total", labels={"bad name": "v"})
+    with pytest.raises(ValueError):
+        m.counter("x_total", labels={"code": 'quo"te'})
+
+
+def test_null_metrics_accepts_labels():
+    inst = NULL_METRICS.counter("x_total", labels={"code": "200"})
+    inst.inc()
+    assert inst.snapshot() == 0.0

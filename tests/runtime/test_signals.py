@@ -1,0 +1,77 @@
+"""``trap_signals``: first-signal flagging, nesting, restore, escalation.
+
+The chaining regression pinned here: before registrations composed, a
+``trap_signals`` scope entered inside another (the serve daemon's drain
+handler wrapping a journalled search's handler) silently shadowed the
+outer one — a single SIGTERM flagged only the inner token and the server
+never started draining.  One delivered signal must now flag *every*
+nested scope's token.
+"""
+
+import signal
+import threading
+
+import pytest
+
+from repro.runtime.budget import Cancellation
+from repro.runtime.signals import trap_signals
+
+
+def test_first_signal_flags_token_without_raising():
+    cancel = Cancellation()
+    with trap_signals(cancel, signums=(signal.SIGTERM,)):
+        signal.raise_signal(signal.SIGTERM)
+        assert cancel.requested
+        assert cancel.reason == "SIGTERM"
+
+
+def test_nested_scopes_both_flagged_by_one_delivery():
+    outer, inner = Cancellation(), Cancellation()
+    with trap_signals(outer, signums=(signal.SIGTERM,)):
+        with trap_signals(inner, signums=(signal.SIGTERM,)):
+            signal.raise_signal(signal.SIGTERM)
+            assert inner.requested, "inner scope missed the signal"
+            assert outer.requested, "chaining regression: outer scope shadowed"
+
+
+def test_inner_exit_restores_outer_trap():
+    outer, inner = Cancellation(), Cancellation()
+    with trap_signals(outer, signums=(signal.SIGTERM,)):
+        with trap_signals(inner, signums=(signal.SIGTERM,)):
+            pass
+        signal.raise_signal(signal.SIGTERM)
+        assert outer.requested
+        assert not inner.requested
+
+
+def test_handlers_restored_after_scope():
+    before = signal.getsignal(signal.SIGTERM)
+    cancel = Cancellation()
+    with trap_signals(cancel, signums=(signal.SIGTERM,)):
+        assert signal.getsignal(signal.SIGTERM) is not before
+    assert signal.getsignal(signal.SIGTERM) is before
+
+
+def test_second_signal_escalates_to_default_behavior():
+    cancel = Cancellation()
+    with trap_signals(cancel, signums=(signal.SIGINT,)):
+        signal.raise_signal(signal.SIGINT)  # first: flag only
+        assert cancel.requested
+        with pytest.raises(KeyboardInterrupt):
+            signal.raise_signal(signal.SIGINT)  # second: restored + re-raised
+
+
+def test_noop_off_main_thread():
+    cancel = Cancellation()
+    before = signal.getsignal(signal.SIGTERM)
+    seen = []
+
+    def worker():
+        with trap_signals(cancel, signums=(signal.SIGTERM,)) as token:
+            seen.append(token)
+
+    t = threading.Thread(target=worker)
+    t.start()
+    t.join()
+    assert seen == [cancel]
+    assert signal.getsignal(signal.SIGTERM) is before

@@ -1,0 +1,87 @@
+"""Admission window: bounded slots, Retry-After hints, draining."""
+
+import threading
+
+import pytest
+
+from repro.serve.admission import (
+    MAX_RETRY_AFTER,
+    MIN_RETRY_AFTER,
+    AdmissionController,
+    AdmissionFull,
+    Draining,
+)
+
+
+class TestWindow:
+    def test_admit_until_full(self):
+        adm = AdmissionController(2)
+        adm.admit()
+        adm.admit()
+        with pytest.raises(AdmissionFull) as exc:
+            adm.admit()
+        assert exc.value.status == 429
+        assert exc.value.retry_after is not None
+        adm.release(0.1)
+        adm.admit()  # slot freed
+
+    def test_release_never_goes_negative(self):
+        adm = AdmissionController(1)
+        adm.release()
+        assert adm.admitted == 0
+
+    def test_invalid_max_queue(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+
+
+class TestRetryAfter:
+    def test_clamped_to_bounds(self):
+        adm = AdmissionController(4, workers=2)
+        assert MIN_RETRY_AFTER <= adm.retry_after() <= MAX_RETRY_AFTER
+        # Saturate with slow observed service times: hint hits the cap.
+        for _ in range(4):
+            adm.admit()
+        for _ in range(8):
+            adm.release(60.0)
+            adm.admit()
+        assert adm.retry_after() == MAX_RETRY_AFTER
+
+    def test_scales_with_backlog(self):
+        adm = AdmissionController(8, workers=2)
+        for _ in range(6):
+            adm.admit()
+            adm.release(2.0)
+        empty = adm.retry_after()
+        for _ in range(8):
+            adm.admit()
+        assert adm.retry_after() > empty
+
+
+class TestDraining:
+    def test_draining_refuses_admission(self):
+        adm = AdmissionController(2)
+        adm.start_draining()
+        assert adm.draining
+        with pytest.raises(Draining) as exc:
+            adm.admit()
+        assert exc.value.status == 503
+
+    def test_wait_drained_blocks_until_releases(self):
+        adm = AdmissionController(2)
+        adm.admit()
+        adm.admit()
+        adm.start_draining()
+        assert not adm.wait_drained(timeout=0.05)
+        releaser = threading.Timer(0.05, lambda: (adm.release(),
+                                                  adm.release()))
+        releaser.start()
+        try:
+            assert adm.wait_drained(timeout=5.0)
+        finally:
+            releaser.cancel()
+
+    def test_wait_drained_immediate_when_empty(self):
+        adm = AdmissionController(2)
+        adm.start_draining()
+        assert adm.wait_drained(timeout=0.01)

@@ -81,3 +81,45 @@ def test_top_level_reexports():
     assert repro.api.Problem is Problem
     for name in ("Problem", "RunContext", "api", "obs", "search", "simulate"):
         assert name in repro.__all__
+
+
+class TestFingerprint:
+    """`Problem.fingerprint`: the public coalescing/caching key."""
+
+    def test_stable_hex_digest(self, alexnet8):
+        fp = alexnet8.fingerprint()
+        assert fp == alexnet8.fingerprint()
+        assert len(fp) == 64 and int(fp, 16) >= 0
+
+    def test_equal_problems_have_equal_fingerprints(self, alexnet8):
+        rebuilt = Problem.from_benchmark("alexnet", p=8)
+        assert rebuilt.fingerprint() == alexnet8.fingerprint()
+
+    def test_covers_search_parameters(self, alexnet8):
+        base = alexnet8.fingerprint()
+        assert alexnet8.fingerprint(seed=1) != base
+        assert alexnet8.fingerprint(method="greedy") != base
+        assert alexnet8.fingerprint(reduce=True) != base
+        assert alexnet8.fingerprint(resilient=True) != base
+        assert alexnet8.fingerprint(memory_budget=1 << 20) != base
+
+    def test_covers_the_problem_itself(self, alexnet8):
+        assert Problem.from_benchmark("alexnet", p=4).fingerprint() != \
+            alexnet8.fingerprint()
+        assert Problem.from_benchmark(
+            "alexnet", p=8, machine=RTX2080TI).fingerprint() != \
+            alexnet8.fingerprint()
+
+    def test_reduce_spellings_resolve_before_hashing(self, alexnet8):
+        # False/"off"/"never" are one resolved mode; True is "auto".
+        assert alexnet8.fingerprint(reduce=False) == \
+            alexnet8.fingerprint(reduce="off") == \
+            alexnet8.fingerprint(reduce="never")
+        assert alexnet8.fingerprint(reduce=True) == \
+            alexnet8.fingerprint(reduce="auto")
+
+    def test_default_memory_budget_is_explicit(self, alexnet8):
+        from repro.core.dp import DEFAULT_MEMORY_BUDGET
+
+        assert alexnet8.fingerprint() == \
+            alexnet8.fingerprint(memory_budget=DEFAULT_MEMORY_BUDGET)
