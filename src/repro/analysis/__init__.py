@@ -8,6 +8,9 @@ from .graphstats import (
 )
 from .memory import MemoryModel, NodeMemory, strategy_memory
 from .reporting import (
+    format_bytes,
+    format_frontier_plot,
+    format_frontier_table,
     format_grid,
     format_reduction_stats,
     format_speedup_table,
@@ -21,6 +24,9 @@ __all__ = [
     "config_count_stats",
     "degree_histogram",
     "dependent_set_profile",
+    "format_bytes",
+    "format_frontier_plot",
+    "format_frontier_table",
     "format_grid",
     "format_reduction_stats",
     "format_speedup_table",

@@ -7,7 +7,9 @@ from typing import Mapping, Sequence
 __all__ = ["format_time", "format_grid", "format_speedup_table",
            "format_fault_table", "format_resilience_report",
            "format_replan_report", "format_table_build_stats",
-           "format_reduction_stats", "format_run_report"]
+           "format_reduction_stats", "format_run_report",
+           "format_frontier_table", "format_frontier_plot",
+           "format_bytes"]
 
 
 def format_time(seconds: float | None) -> str:
@@ -30,6 +32,67 @@ def format_grid(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str
         lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
         if j == 0:
             lines.append("-+-".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_bytes(n: float) -> str:
+    """Human-readable bytes (``1.50 GiB``), exact below 1 KiB."""
+    value = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if abs(value) < 1024.0 or unit == "TiB":
+            return f"{value:.0f} {unit}" if unit == "B" \
+                else f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_frontier_table(frontier: Sequence) -> str:
+    """The Pareto frontier as a text table, one row per point.
+
+    ``frontier`` is a sequence of `repro.core.strategy.FrontierPoint`
+    in the search's native order (ascending cost / descending memory);
+    the min-cost row — the scalar DP optimum — is marked.
+    """
+    if not frontier:
+        return "frontier: empty"
+    rows = []
+    for i, pt in enumerate(frontier):
+        rows.append([i, f"{pt.cost:.6e}", format_bytes(pt.peak_bytes),
+                     "min-cost" if i == 0 else ""])
+    return format_grid(["#", "cost (FLOP-eq)", "peak memory", ""], rows)
+
+
+def format_frontier_plot(frontier: Sequence, *, width: int = 60,
+                         height: int = 16) -> str:
+    """ASCII scatter of the (cost, peak-bytes) frontier.
+
+    Cost on the x axis, peak bytes on the y axis; ``*`` marks frontier
+    points and ``o`` the min-cost point.  Degenerate (single-point or
+    zero-range) frontiers collapse to a one-line summary rather than a
+    misleading plot.
+    """
+    if not frontier:
+        return "frontier: empty"
+    costs = [pt.cost for pt in frontier]
+    mems = [pt.peak_bytes for pt in frontier]
+    c_lo, c_hi = min(costs), max(costs)
+    m_lo, m_hi = min(mems), max(mems)
+    if len(frontier) == 1 or c_hi <= c_lo or m_hi <= m_lo:
+        return (f"frontier: {len(frontier)} point(s), cost {c_lo:.6e}, "
+                f"peak {format_bytes(m_lo)}")
+    grid = [[" "] * width for _ in range(height)]
+    for pt in frontier:
+        x = round((pt.cost - c_lo) / (c_hi - c_lo) * (width - 1))
+        y = round((pt.peak_bytes - m_lo) / (m_hi - m_lo) * (height - 1))
+        grid[height - 1 - y][x] = "*"
+    x0 = round((frontier[0].cost - c_lo) / (c_hi - c_lo) * (width - 1))
+    y0 = round((frontier[0].peak_bytes - m_lo) / (m_hi - m_lo) * (height - 1))
+    grid[height - 1 - y0][x0] = "o"
+    lines = [f"peak {format_bytes(m_hi)}"]
+    lines += ["  |" + "".join(row) for row in grid]
+    lines.append("  +" + "-" * width)
+    lines.append(f"   cost {c_lo:.3e} .. {c_hi:.3e}, "
+                 f"peak down to {format_bytes(m_lo)}   (o = min-cost)")
     return "\n".join(lines)
 
 

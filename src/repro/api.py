@@ -42,13 +42,15 @@ from typing import Sequence
 
 from .core.configs import ConfigSpace
 from .core.costmodel import CostModel
+from .core.exceptions import SearchResourceError
 from .core.graph import CompGraph
 from .core.machine import GTX1080TI, MachineSpec
-from .core.strategy import SearchResult, Strategy
+from .core.strategy import FrontierPoint, SearchResult, Strategy
 from .runtime.context import RunContext
 from .runtime.run import RunOutcome, execute_search
 
-__all__ = ["Problem", "RunContext", "RunOutcome", "search", "simulate"]
+__all__ = ["Problem", "RunContext", "RunOutcome", "FrontierPoint",
+           "search", "select_point", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -112,7 +114,8 @@ class Problem:
     def fingerprint(self, *, method: str = "ours", seed: int = 0,
                     reduce: "bool | str" = False, resilient: bool = False,
                     memory_budget: int | None = None,
-                    order: Sequence[str] | None = None) -> str:
+                    order: Sequence[str] | None = None,
+                    objective: str = "cost") -> str:
         """Stable content hash of one *(problem, search parameters)* cell.
 
         The sha256 hex digest of the canonical run fingerprint
@@ -127,7 +130,11 @@ class Problem:
         * the search parameters: ``method``, ``seed``, the resolved
           ``reduce`` mode (plus the auto-bypass ratio when ``auto``),
           ``resilient``, the DP ``memory_budget``, and any caller
-          ``order``.
+          ``order``;
+        * the canonical ``objective`` — but only for frontier runs
+          (fingerprint v3).  ``objective="cost"`` hashes the exact v2
+          dict this method always hashed, so every pre-existing journal
+          resume key and serve coalesce/cache key stays valid.
 
         Deliberately excluded: wall-clock deadlines, jobs/cache/kernel
         knobs, and the observability pair — those change how fast the
@@ -147,7 +154,7 @@ class Problem:
             seed=seed, reduce=reduce, resilient=resilient,
             memory_budget=(DEFAULT_MEMORY_BUDGET if memory_budget is None
                            else memory_budget),
-            order=order)
+            order=order, objective=objective)
         return hashlib.sha256(
             json.dumps(fp, sort_keys=True).encode()).hexdigest()
 
@@ -157,6 +164,7 @@ def search(problem: Problem, *,
            seed: int = 0,
            order: Sequence[str] | None = None,
            reduce: bool = False,
+           objective: str = "cost",
            resilient: bool = False,
            resume: bool = False,
            ctx: RunContext | None = None) -> RunOutcome:
@@ -168,28 +176,65 @@ def search(problem: Problem, *,
     `Problem` supplies the instance and the optional `RunContext`
     supplies every execution knob (budget, cancellation, journal,
     tracer, metrics, jobs, cache).
+
+    ``objective="frontier"`` (or ``"frontier:eps=<float>"``) returns the
+    full (cost, peak-bytes) Pareto frontier in ``outcome.result
+    .frontier`` with ``strategy``/``cost`` its min-cost point —
+    bit-identical to the scalar optimum.  ``objective="cost"`` (default)
+    is the scalar pipeline, unchanged; its ``.frontier`` is a
+    synthesized length-1 tuple, so downstream code can read
+    ``.frontier`` uniformly.  Pick a deployable point under a device
+    memory cap with `select_point`.
     """
     return execute_search(problem.graph, problem.space, problem.machine,
                           method=method, seed=seed, order=order,
-                          reduce=reduce, resilient=resilient,
-                          resume=resume, ctx=ctx)
+                          reduce=reduce, objective=objective,
+                          resilient=resilient, resume=resume, ctx=ctx)
+
+
+def select_point(frontier: "Sequence[FrontierPoint]",
+                 memory_budget: int | float | None) -> FrontierPoint:
+    """The min-cost frontier point whose ``peak_bytes`` fits the budget.
+
+    ``memory_budget=None`` (no cap) returns the min-cost point.  When no
+    point fits, raises `SearchResourceError` carrying the smallest
+    frontier footprint as ``requested_bytes`` — the caller knows exactly
+    how much memory the cheapest feasible strategy would need.
+    """
+    if not frontier:
+        raise ValueError("select_point: empty frontier")
+    if memory_budget is None:
+        return min(frontier, key=lambda pt: (pt.cost, pt.peak_bytes))
+    fitting = [pt for pt in frontier
+               if pt.peak_bytes <= float(memory_budget)]
+    if not fitting:
+        tightest = min(pt.peak_bytes for pt in frontier)
+        raise SearchResourceError(
+            f"no frontier point fits memory_budget={int(memory_budget)} "
+            f"bytes; the smallest frontier footprint is "
+            f"{tightest:.0f} bytes",
+            requested_bytes=int(tightest),
+            budget_bytes=int(memory_budget))
+    return min(fitting, key=lambda pt: (pt.cost, pt.peak_bytes))
 
 
 def simulate(problem: Problem,
-             strategy: "Strategy | SearchResult", *,
+             strategy: "Strategy | SearchResult | FrontierPoint", *,
              efficiency: float | None = None,
              batch: int | None = None,
              keep_trace: bool = False,
              faults=None):
     """Simulate one training step of ``strategy`` on ``problem``.
 
-    Accepts either a bare `Strategy` or a `SearchResult` (its
-    ``.strategy`` is used), so ``simulate(prob, search(prob).result)``
-    composes directly.  Returns the simulator's `SimulationReport`.
+    Accepts a bare `Strategy`, a `SearchResult` (its ``.strategy`` is
+    used), or a `FrontierPoint` straight off a frontier — so both
+    ``simulate(prob, search(prob).result)`` and ``simulate(prob,
+    select_point(outcome.result.frontier, budget))`` compose directly.
+    Returns the simulator's `SimulationReport`.
     """
     from .cluster import simulate_step
 
-    if isinstance(strategy, SearchResult):
+    if isinstance(strategy, (SearchResult, FrontierPoint)):
         strategy = strategy.strategy
     kwargs: dict = {"batch": batch, "keep_trace": keep_trace,
                     "faults": faults}

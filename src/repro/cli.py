@@ -120,6 +120,14 @@ def _cmd_search(args: argparse.Namespace) -> int:
         from .core.sequencer import breadth_first_seq
 
         method, order = "ours", breadth_first_seq(graph)
+    objective = "cost"
+    if args.frontier:
+        if method != "ours":
+            print("pase: --frontier requires --method ours",
+                  file=sys.stderr)
+            return 2
+        objective = ("frontier" if not args.frontier_eps
+                     else f"frontier:eps={args.frontier_eps:g}")
     ctx = RunContext(
         budget=RunBudget(
             deadline=args.deadline,
@@ -132,8 +140,8 @@ def _cmd_search(args: argparse.Namespace) -> int:
         with trap_signals(ctx.cancellation):
             outcome = execute_search(
                 graph, space, machine, method=method, seed=args.seed,
-                order=order, reduce=args.reduce, resilient=args.resilient,
-                ctx=ctx, resume=args.resume)
+                order=order, reduce=args.reduce, objective=objective,
+                resilient=args.resilient, ctx=ctx, resume=args.resume)
     finally:
         # The tracer flushes per-span, so the trace file is valid even on
         # a failure path; the metrics snapshot needs an explicit dump.
@@ -153,6 +161,16 @@ def _cmd_search(args: argparse.Namespace) -> int:
     if outcome.resilience is not None:
         print(outcome.resilience.summary())
     print(format_run_report(outcome.report))
+    if args.frontier:
+        from .analysis.reporting import (format_frontier_plot,
+                                         format_frontier_table)
+
+        print(f"# Pareto frontier: {len(result.frontier)} non-dominated "
+              f"(cost, peak-bytes) point(s)")
+        print(format_frontier_table(result.frontier))
+        plot = format_frontier_plot(result.frontier)
+        if plot:
+            print(plot)
     if args.json:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(result.strategy.to_json())
@@ -393,6 +411,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     _add_table_opts(p_search)
     p_search.add_argument("--method", choices=METHODS, default="ours")
     p_search.add_argument("--seed", type=int, default=0)
+    p_search.add_argument("--frontier", action="store_true",
+                          help="multi-objective search: return the exact "
+                          "(cost, peak-bytes) Pareto frontier instead of "
+                          "only the min-cost strategy (method 'ours')")
+    p_search.add_argument("--frontier-eps", type=float, default=0.0,
+                          metavar="EPS",
+                          help="coarsen the frontier to one point per "
+                          "geometric memory bucket of width (1+EPS); 0 "
+                          "keeps the exact frontier (default)")
     p_search.add_argument("--json", help="write the strategy to a JSON file")
     p_search.add_argument("--resilient", action="store_true",
                           help="degrade gracefully (chunk reduction, "

@@ -146,6 +146,29 @@ def _edge_task(index: int) -> tuple[int, np.ndarray | None]:
     return index, out
 
 
+def _mem_task(name: str) -> tuple[str, np.ndarray | None]:
+    graph: CompGraph = _WORKER["graph"]          # type: ignore[assignment]
+    space: ConfigSpace = _WORKER["space"]        # type: ignore[assignment]
+    out = _node_memory_table(graph.node(name), space.configs(name))
+    arena = _WORKER.get("arena")
+    if arena is not None:
+        arena.write(("mem", name), out)          # type: ignore[attr-defined]
+        return name, None
+    return name, out
+
+
+def _node_memory_table(op, configs: np.ndarray) -> np.ndarray:
+    """One node's per-config worst-device memory bytes ``[K]``.
+
+    The frontier DP's second objective axis (`repro.analysis.memory`),
+    built through the same jobs/cache/shm data plane as the cost tables.
+    """
+    from ..analysis.memory import MemoryModel
+
+    return np.ascontiguousarray(
+        MemoryModel().node_bytes(op, configs), dtype=np.float64)
+
+
 def _parse_jobs(jobs: int | str | None) -> tuple[str, int]:
     """Normalize every ``jobs=`` spelling to ``(mode, requested_workers)``.
 
@@ -393,7 +416,8 @@ class CostModel:
             return "processes", workers
         return "threads", workers
 
-    def _arena_plan(self, graph: CompGraph, space: ConfigSpace) -> dict:
+    def _arena_plan(self, graph: CompGraph, space: ConfigSpace,
+                    memory: bool = False) -> dict:
         """Shared-memory layout for one build: every table array's slot.
 
         Planned entirely from the configuration space — no cost needs to
@@ -405,6 +429,9 @@ class CostModel:
         for i, e in enumerate(graph.edges):
             plan[("tx", i)] = ((space.size(e.src), space.size(e.dst)),
                                np.float64)
+        if memory:
+            for op in graph:
+                plan[("mem", op.name)] = ((space.size(op.name),), np.float64)
         return plan
 
     def build_tables(self, graph: CompGraph, space: ConfigSpace, *,
@@ -412,6 +439,7 @@ class CostModel:
                      jobs: int | str | None = UNSET,
                      cache: "object | None" = UNSET,
                      checkpoint: Callable[..., None] | None = UNSET,
+                     memory: bool = False,
                      ) -> "CostTables":
         """Precompute `CostTables` for one (graph, machine, p) instance.
 
@@ -454,6 +482,14 @@ class CostModel:
             (`repro.runtime.make_checkpoint`), polled between per-node /
             per-edge tasks and around pool attempts; it aborts the build
             by raising.  An aborted build never reaches the cache store.
+        memory:
+            Also build per-node per-config memory tables
+            (``CostTables.mem``, worst-device peak bytes from
+            `repro.analysis.memory.MemoryModel.node_bytes`) on the same
+            jobs / cache / shm data plane as the LC/TX tables.  The
+            frontier search requires them; scalar searches never pay for
+            them.  Flipping this changes the cache digest, so scalar and
+            memory-carrying table sets never alias in a `TableCache`.
 
         The returned tables carry ``build_stats`` (seconds, cache hit,
         worker count, table cells, degradation flags) which the searchers
@@ -480,7 +516,8 @@ class CostModel:
         work_cells = self.table_work_cells(graph, space)
         with tracer.span("tables.build", cells=work_cells) as span:
             tables = self._build_tables_inner(
-                graph, space, jobs, cache, checkpoint, work_cells, t0)
+                graph, space, jobs, cache, checkpoint, work_cells, t0,
+                memory)
             stats = tables.build_stats
             span.set(cache_hit=bool(stats["cache_hit"]),
                      jobs=int(stats["jobs"]),
@@ -514,12 +551,13 @@ class CostModel:
     def _build_tables_inner(self, graph: CompGraph, space: ConfigSpace,
                             jobs: int | str | None, cache: "object | None",
                             checkpoint: Callable[..., None] | None,
-                            work_cells: int, t0: float) -> "CostTables":
+                            work_cells: int, t0: float,
+                            memory: bool = False) -> "CostTables":
         digest = None
         if cache is not None:
             from .tablecache import table_digest
 
-            digest = table_digest(graph, space, self)
+            digest = table_digest(graph, space, self, memory=memory)
             hit = cache.load(digest, graph, space, self.machine)
             if hit is not None:
                 hit.build_stats = {
@@ -542,13 +580,14 @@ class CostModel:
         if backend == "processes":
             from .shm import plan_nbytes
 
-            shm_bytes = plan_nbytes(self._arena_plan(graph, space))
+            shm_bytes = plan_nbytes(self._arena_plan(graph, space, memory))
         if backend != "serial":
-            lc, edge_mats, retries, degraded_reason = \
+            lc, edge_mats, mem, retries, degraded_reason = \
                 self._build_arrays_hardened(graph, space, backend, workers,
-                                            checkpoint)
+                                            checkpoint, memory)
         else:
-            lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
+            lc, edge_mats, mem = self._build_arrays_serial(
+                graph, space, checkpoint, memory)
         pair_tx: dict[tuple[str, str], np.ndarray] = {}
         for e, raw in zip(graph.edges, edge_mats):
             mat = raw * self.r
@@ -560,7 +599,7 @@ class CostModel:
             else:
                 pair_tx[key] = mat
         tables = CostTables(graph=graph, space=space, machine=self.machine,
-                            lc=lc, pair_tx=pair_tx)
+                            lc=lc, pair_tx=pair_tx, mem=mem)
         if degraded_reason is not None:
             backend, workers, shm_bytes = "serial", 1, 0
         tables.backend = backend
@@ -589,7 +628,9 @@ class CostModel:
     def _build_arrays_serial(
             self, graph: CompGraph, space: ConfigSpace,
             checkpoint: Callable[..., None] | None = None,
-    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+            memory: bool = False,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray],
+               dict[str, np.ndarray] | None]:
         """The reference single-process build (also the degraded path)."""
         n_tasks = len(graph) + len(graph.edges)
         lc: dict[str, np.ndarray] = {}
@@ -603,19 +644,25 @@ class CostModel:
                 checkpoint(phase="tables", step=len(graph) + k, total=n_tasks)
             edge_mats.append(self.edge_bytes_matrix(
                 graph, e, space.configs(e.src), space.configs(e.dst)))
-        return lc, edge_mats
+        mem = None
+        if memory:
+            mem = {op.name: _node_memory_table(op, space.configs(op.name))
+                   for op in graph}
+        return lc, edge_mats, mem
 
     def _build_arrays_hardened(
             self, graph: CompGraph, space: ConfigSpace, backend: str,
             workers: int, checkpoint: Callable[..., None] | None = None,
-    ) -> tuple[dict[str, np.ndarray], list[np.ndarray], int, str | None]:
+            memory: bool = False,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray],
+               dict[str, np.ndarray] | None, int, str | None]:
         """Parallel build with retry-then-serial degradation.
 
         A dead worker (OOM-killed, segfaulted, SIGKILLed) surfaces as
         `BrokenProcessPool`; pool setup itself can raise `OSError`
         (fork/pipe/shm exhaustion).  Both are retried with backoff, then
         the bit-identical serial path takes over.  Returns ``(lc,
-        edge_mats, retries_used, degraded_reason)``.
+        edge_mats, mem, retries_used, degraded_reason)``.
         """
         from concurrent.futures.process import BrokenProcessPool
 
@@ -628,12 +675,12 @@ class CostModel:
                     PARALLEL_RETRY_BACKOFF_SECONDS * attempt, checkpoint)
             try:
                 if backend == "threads":
-                    lc, edge_mats = self._build_arrays_threads(
-                        graph, space, workers)
+                    lc, edge_mats, mem = self._build_arrays_threads(
+                        graph, space, workers, memory)
                 else:
-                    lc, edge_mats = self._build_arrays_parallel(
-                        graph, space, workers)
-                return lc, edge_mats, attempt, None
+                    lc, edge_mats, mem = self._build_arrays_parallel(
+                        graph, space, workers, memory)
+                return lc, edge_mats, mem, attempt, None
             except (BrokenProcessPool, OSError) as err:
                 last_error = err
                 _log.warning(
@@ -643,12 +690,15 @@ class CostModel:
         reason = f"{type(last_error).__name__}: {last_error}"
         _log.warning("parallel table build degraded to serial after "
                      "%d attempts (%s)", 1 + PARALLEL_BUILD_RETRIES, reason)
-        lc, edge_mats = self._build_arrays_serial(graph, space, checkpoint)
-        return lc, edge_mats, PARALLEL_BUILD_RETRIES, reason
+        lc, edge_mats, mem = self._build_arrays_serial(
+            graph, space, checkpoint, memory)
+        return lc, edge_mats, mem, PARALLEL_BUILD_RETRIES, reason
 
     def _build_arrays_threads(
             self, graph: CompGraph, space: ConfigSpace, workers: int,
-    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+            memory: bool = False,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray],
+               dict[str, np.ndarray] | None]:
         """Fan the matrix builds over a thread pool (zero-copy, no fork).
 
         The heavy lifting is vectorized numpy, which releases the GIL
@@ -659,6 +709,7 @@ class CostModel:
         from concurrent.futures import ThreadPoolExecutor
 
         ops = list(graph)
+        mem = None
         with ThreadPoolExecutor(max_workers=workers) as pool:
             lc_arrays = list(pool.map(
                 lambda op: self.layer_cost(op, space.configs(op.name)), ops))
@@ -666,11 +717,19 @@ class CostModel:
                 lambda e: self.edge_bytes_matrix(
                     graph, e, space.configs(e.src), space.configs(e.dst)),
                 graph.edges))
-        return {op.name: arr for op, arr in zip(ops, lc_arrays)}, edge_mats
+            if memory:
+                mem_arrays = list(pool.map(
+                    lambda op: _node_memory_table(
+                        op, space.configs(op.name)), ops))
+                mem = {op.name: arr for op, arr in zip(ops, mem_arrays)}
+        return ({op.name: arr for op, arr in zip(ops, lc_arrays)},
+                edge_mats, mem)
 
     def _build_arrays_parallel(
             self, graph: CompGraph, space: ConfigSpace, workers: int,
-    ) -> tuple[dict[str, np.ndarray], list[np.ndarray]]:
+            memory: bool = False,
+    ) -> tuple[dict[str, np.ndarray], list[np.ndarray],
+               dict[str, np.ndarray] | None]:
         """Fan the matrix builds over a process pool + shared-memory arena.
 
         Workers write each matrix directly into its planned arena slot
@@ -689,7 +748,8 @@ class CostModel:
         n_edges = len(graph.edges)
         # OSError here (shm exhausted) flows into the hardened retry ->
         # serial degradation, like any other pool-setup failure.
-        arena = ShmArena.create(self._arena_plan(graph, space))
+        arena = ShmArena.create(self._arena_plan(graph, space, memory))
+        mem = None
         try:
             with ProcessPoolExecutor(
                     max_workers=workers, initializer=_init_worker,
@@ -697,11 +757,15 @@ class CostModel:
                               arena.manifest)) as pool:
                 list(pool.map(_node_task, names))
                 list(pool.map(_edge_task, range(n_edges)))
+                if memory:
+                    list(pool.map(_mem_task, names))
             lc = {name: arena.adopt(("lc", name)) for name in names}
             edge_mats = [arena.adopt(("tx", i)) for i in range(n_edges)]
+            if memory:
+                mem = {name: arena.adopt(("mem", name)) for name in names}
         finally:
             arena.destroy()
-        return lc, edge_mats
+        return lc, edge_mats, mem
 
 
 def _canonical(u: str, v: str) -> tuple[tuple[str, str], bool]:
@@ -742,6 +806,10 @@ class CostTables:
     machine: MachineSpec
     lc: dict[str, np.ndarray]
     pair_tx: dict[tuple[str, str], np.ndarray]
+    #: Optional per-node per-config worst-device memory bytes ``[K_v]``
+    #: (same layout as ``lc``), present only when the tables were built
+    #: with ``memory=True`` — the frontier search's second objective.
+    mem: dict[str, np.ndarray] | None = None
     derived: bool = False
     backend: str = field(default="serial", repr=False)
     build_stats: dict[str, float] = field(default_factory=dict, repr=False)
@@ -794,6 +862,8 @@ class CostTables:
         """Memory footprint of the precomputed tables."""
         total = sum(a.nbytes for a in self.lc.values())
         total += sum(a.nbytes for a in self.pair_tx.values())
+        if self.mem is not None:
+            total += sum(a.nbytes for a in self.mem.values())
         return total
 
     def work_cells(self) -> int:

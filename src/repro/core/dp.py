@@ -121,6 +121,7 @@ def find_best_strategy(
     method_name: str = "pase-dp",
     reduce: "bool | str" = False,
     reduce_bypass_ratio: float | None = None,
+    objective: str = "cost",
     kernel: str | None = None,
     ctx: "object | None" = None,
     checkpoint: Callable[..., None] | None = UNSET,
@@ -158,6 +159,14 @@ def find_best_strategy(
         `DEFAULT_REDUCE_BYPASS_RATIO`); falls back to the
         ``PASE_REDUCE_BYPASS_RATIO`` environment variable, then the
         default.  ``0`` makes ``"auto"`` behave like ``"always"``.
+    objective:
+        ``"cost"`` (default) runs the scalar DP exactly as before —
+        same code path, bit-identical results.  ``"frontier"`` (or
+        ``"frontier:eps=<float>"``) dispatches to the Pareto-frontier
+        DP (`repro.core.frontier.find_frontier_strategy`): the result's
+        ``.frontier`` carries every non-dominated (cost, peak-bytes)
+        pair and ``strategy``/``cost`` its min-cost point, bit-identical
+        to the scalar optimum.
     kernel:
         Compute backend for the hot kernels for the duration of this
         search: ``"numpy"`` (default), ``"numba"`` (compiled; falls back
@@ -197,6 +206,19 @@ def find_best_strategy(
         if kernel is None:
             kernel = getattr(ctx, "kernel", None)
     with observed, kernels.use(kernel):
+        if objective != "cost":
+            from .frontier import find_frontier_strategy, parse_objective
+
+            obj = parse_objective(objective)
+            if not obj.is_frontier:  # "cost" spelled oddly, e.g. " cost "
+                obj = None
+            if obj is not None:
+                return find_frontier_strategy(
+                    graph, space, tables, eps=obj.eps, order=order,
+                    memory_budget=memory_budget, chunk_cells=chunk_cells,
+                    method_name=method_name, reduce=reduce,
+                    reduce_bypass_ratio=reduce_bypass_ratio,
+                    checkpoint=checkpoint)
         return _find_best_strategy(
             graph, space, tables, order=order, memory_budget=memory_budget,
             chunk_cells=chunk_cells, method_name=method_name, reduce=reduce,

@@ -273,12 +273,21 @@ class _Reducer:
     """
 
     def __init__(self, graph: CompGraph, space: ConfigSpace,
-                 tables: CostTables, *, vectorized: bool = True) -> None:
+                 tables: CostTables, *, vectorized: bool = True,
+                 memory: "Mapping[str, np.ndarray] | None" = None) -> None:
         self.space = space
         self.vectorized = vectorized
         self.order = tuple(space.tables)  # deterministic node order
         self.lc: dict[str, np.ndarray] = {
             n: np.array(tables.lc[n], dtype=np.float64) for n in self.order}
+        #: Per-node per-config memory columns (frontier objective): when
+        #: set, dominance must respect *both* axes — a config survives
+        #: unless some other config beats it on cost everywhere *and* on
+        #: memory, so every (cost, peak-bytes) frontier value survives.
+        self.mem: dict[str, np.ndarray] | None = None
+        if memory is not None:
+            self.mem = {n: np.ascontiguousarray(memory[n], dtype=np.float64)
+                        for n in self.order}
         self.tx: dict[tuple[str, str], np.ndarray] = {
             key: np.array(mat, dtype=np.float64)
             for key, mat in tables.pair_tx.items()}
@@ -328,6 +337,8 @@ class _Reducer:
         if k <= 1:
             return False
         cols = [self.lc[name][:, None]]
+        if self.mem is not None:
+            cols.append(self.mem[name][:, None])
         for u in sorted(self.adj[name]):
             cols.append(self._mat(name, u))
         mask_fn = (dominance_keep_mask if self.vectorized
@@ -337,6 +348,8 @@ class _Reducer:
             return False
         self.configs_removed += int(k - keep.sum())
         self.lc[name] = self.lc[name][keep]
+        if self.mem is not None:
+            self.mem[name] = self.mem[name][keep]
         self.sel[name] = self.sel[name][keep]
         for u in self.adj[name]:
             self._set_mat(name, u, self._mat(name, u)[keep])
@@ -434,6 +447,7 @@ def _min_over_middle(lc_w: np.ndarray, mat_uw: np.ndarray,
 def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
                    *, dominance: bool = True, contraction: bool = True,
                    max_rounds: int = 64, vectorized: bool = True,
+                   memory: "Mapping[str, np.ndarray] | None" = None,
                    checkpoint: "Callable[..., None] | None" = None,
                    ctx: "object | None" = None,
                    ) -> ReducedProblem:
@@ -446,6 +460,12 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
     Runs *after* any table-cache lookup, so cached tables stay canonical.
     ``vectorized=False`` replays the pre-kernel per-vertex implementation
     (the parity oracle; bit-identical output, much slower).
+    ``memory`` switches the reduction to the frontier objective: per-node
+    per-config memory columns (``name -> float64 [K]``) join the
+    dominance profile so pruning respects *both* axes, and chain
+    contraction — whose min-fold is scalar-objective and would collapse
+    the memory axis — is auto-disabled; the stats record both decisions
+    (``reduction_memory_aware`` / ``reduction_contraction_disabled``).
     ``checkpoint`` (`repro.runtime.make_checkpoint`) is polled once per
     fixed-point round; it aborts by raising, always between rounds.  A
     `repro.runtime.RunContext` passed as ``ctx`` supplies the checkpoint
@@ -457,7 +477,11 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
         checkpoint = ctx.make_checkpoint()
     tracer = tracer_of(ctx)
     t0 = time.perf_counter()
-    red = _Reducer(graph, space, tables, vectorized=vectorized)
+    contraction_disabled = bool(contraction and memory is not None)
+    if memory is not None:
+        contraction = False
+    red = _Reducer(graph, space, tables, vectorized=vectorized,
+                   memory=memory)
     cells_before = red.work_cells()
     n_before = len(red.order)
 
@@ -507,6 +531,10 @@ def reduce_problem(graph: CompGraph, space: ConfigSpace, tables: CostTables,
         "reduction_cells_after": float(cells_after),
         "reduction_bypassed": 0.0,
     }
+    if memory is not None:
+        stats["reduction_memory_aware"] = 1.0
+        stats["reduction_contraction_disabled"] = (
+            1.0 if contraction_disabled else 0.0)
     return ReducedProblem(
         graph=graph, space=space, tables=tables,
         reduced_graph=reduced_graph, reduced_space=reduced_space,

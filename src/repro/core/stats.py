@@ -46,6 +46,11 @@ STATS_KEY_PREFIXES: dict[str, str] = {
                    "reduction_bypassed: 1.0 when reduce='auto' skipped the "
                    "reduction because the predicted plain-DP work was below "
                    "the bypass ratio, 0.0 when the reduction ran"),
+    "frontier_": ("Pareto-frontier DP counters (repro.core.frontier): "
+                  "frontier_points (final non-dominated points), "
+                  "frontier_max_state_points (largest per-state frontier "
+                  "seen), frontier_eps (epsilon-coarsening knob, 0.0 = "
+                  "exact), frontier_cells (point-bearing DP cells)"),
 }
 
 

@@ -17,7 +17,7 @@ from .costmodel import CostTables
 from .exceptions import StrategyError
 from .graph import CompGraph
 
-__all__ = ["Strategy", "SearchResult"]
+__all__ = ["Strategy", "FrontierPoint", "SearchResult"]
 
 
 @dataclass(frozen=True)
@@ -136,6 +136,31 @@ class Strategy:
         return cls({n: tuple(c) for n, c in data.items()})
 
 
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One non-dominated (cost, per-device memory) point of a search.
+
+    Attributes
+    ----------
+    cost:
+        Analytic cost F(G, φ) of ``strategy`` in FLOP units.
+    peak_bytes:
+        Per-device memory footprint of ``strategy`` in bytes (parameter
+        shards with optimizer state, activation shards, and
+        communication buffers — `repro.analysis.memory.MemoryModel`).
+    strategy:
+        The strategy realizing this tradeoff.
+    """
+
+    cost: float
+    peak_bytes: float
+    strategy: Strategy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<FrontierPoint cost={self.cost:.4g} "
+                f"peak_bytes={self.peak_bytes:.4g}>")
+
+
 @dataclass
 class SearchResult:
     """Outcome of one strategy search.
@@ -151,6 +176,11 @@ class SearchResult:
     stats:
         Searcher-specific counters (DP cells evaluated, MCMC iterations,
         table bytes, ...).
+    frontier:
+        Non-dominated (cost, peak-bytes) points, sorted by ascending
+        cost.  Length 1 for scalar-objective runs (the optimum itself),
+        the full Pareto frontier for ``objective="frontier"`` runs —
+        downstream code never branches on run type.
     """
 
     strategy: Strategy
@@ -158,6 +188,7 @@ class SearchResult:
     elapsed: float
     method: str
     stats: dict[str, float] = field(default_factory=dict)
+    frontier: tuple[FrontierPoint, ...] = ()
 
     def with_stats(self, **extra: float) -> "SearchResult":
         """Copy of this result with ``extra`` merged into ``stats``.
@@ -175,7 +206,7 @@ class SearchResult:
         merged.update(extra)
         return SearchResult(strategy=self.strategy, cost=self.cost,
                             elapsed=self.elapsed, method=self.method,
-                            stats=merged)
+                            stats=merged, frontier=self.frontier)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"<SearchResult {self.method}: cost={self.cost:.4g} "

@@ -164,14 +164,22 @@ def _node_desc(op) -> list:
 
 
 def table_digest(graph: CompGraph, space: ConfigSpace,
-                 model: "CostModel") -> str:
-    """Stable hex digest identifying one table-construction instance."""
+                 model: "CostModel", *, memory: bool = False) -> str:
+    """Stable hex digest identifying one table-construction instance.
+
+    ``memory=True`` describes a build that also carries per-node memory
+    tables (``CostTables.mem``); it folds a marker plus the memory
+    model's constants into the digest so memory-carrying entries never
+    alias scalar ones.  ``memory=False`` digests are byte-identical to
+    what this function produced before the flag existed — every cached
+    scalar entry and journal key stays valid.
+    """
     model_key = (model.machine.name, model.machine.peak_flops,
                  model.machine.intra_node_bw, model.machine.inter_node_bw,
                  model.machine.devices_per_node, model.machine.p2p,
                  bool(model.include_grad_sync), bool(model.include_reduction),
                  bool(model.include_extra), float(model.UPDATE_FLOPS_PER_PARAM))
-    memo_key = (id(graph), id(space), model_key)
+    memo_key = (id(graph), id(space), model_key, bool(memory))
     hit = _DIGEST_MEMO.get(memo_key)
     if hit is not None:
         wr_graph, wr_space, digest = hit
@@ -193,6 +201,12 @@ def table_digest(graph: CompGraph, space: ConfigSpace,
                   float(model.UPDATE_FLOPS_PER_PARAM)],
         "space": [space.p, space.mode],
     }
+    if memory:
+        # Added only when True: scalar digests stay byte-identical to the
+        # pre-flag format (v2 cache entries and resume keys never churn).
+        from ..analysis.memory import DEFAULT_OPTIMIZER_STATE_FACTOR
+
+        desc["memory"] = [True, float(DEFAULT_OPTIMIZER_STATE_FACTOR)]
     h.update(json.dumps(desc, sort_keys=True).encode())
     # Hash the enumerated configurations themselves so pruned/custom
     # spaces never collide with the stock enumeration for the same p/mode.
@@ -298,8 +312,11 @@ class TableCache:
         self.root.mkdir(parents=True, exist_ok=True)
         node_names = list(tables.lc)
         pair_keys = list(tables.pair_tx)
+        mem_names = list(tables.mem) if tables.mem is not None else None
         payload = [tables.lc[n] for n in node_names] + \
             [tables.pair_tx[k] for k in pair_keys]
+        if mem_names is not None:
+            payload += [tables.mem[n] for n in mem_names]
         manifest = {
             "version": _FORMAT_VERSION,
             "digest": digest,
@@ -307,11 +324,16 @@ class TableCache:
             "pairs": [_PAIR_SEP.join(k) for k in pair_keys],
             "payload_checksum": _payload_checksum(payload),
         }
+        if mem_names is not None:
+            manifest["mem_nodes"] = mem_names
         arrays = {"manifest": np.array(json.dumps(manifest))}
         for i, name in enumerate(node_names):
             arrays[f"lc_{i}"] = tables.lc[name]
         for i, key in enumerate(pair_keys):
             arrays[f"tx_{i}"] = tables.pair_tx[key]
+        if mem_names is not None:
+            for i, name in enumerate(mem_names):
+                arrays[f"mem_{i}"] = tables.mem[name]
         path = self.path_for(digest)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
@@ -362,7 +384,7 @@ class TableCache:
             except OSError:
                 return None  # raced an eviction: a plain miss
         if verified is not None:
-            manifest, lc, pair_tx = verified
+            manifest, lc, pair_tx, mem = verified
         else:
             loaded = None
             from_mmap = False
@@ -376,11 +398,13 @@ class TableCache:
             try:
                 if loaded is None:
                     loaded = self._read_eager(path)
-                manifest, lc, pair_tx = loaded
+                manifest, lc, pair_tx, mem = loaded
                 if manifest.get("version") != _FORMAT_VERSION or \
                         manifest.get("digest") != digest:
                     raise ValueError("manifest mismatch")
                 payload = list(lc.values()) + list(pair_tx.values())
+                if mem is not None:
+                    payload += list(mem.values())
                 if _payload_checksum(payload) != \
                         manifest.get("payload_checksum"):
                     raise ValueError("payload checksum mismatch")
@@ -391,7 +415,7 @@ class TableCache:
             if from_mmap and memo_key is not None:
                 while len(_MMAP_MEMO) >= _MMAP_MEMO_MAX:
                     _MMAP_MEMO.pop(next(iter(_MMAP_MEMO)))
-                _MMAP_MEMO[memo_key] = (manifest, lc, pair_tx)
+                _MMAP_MEMO[memo_key] = (manifest, lc, pair_tx, mem)
         if set(lc) != set(space.tables) or \
                 any(lc[n].shape[0] != space.size(n) for n in lc):
             self._quarantine(path, reason="stored shapes do not match the "
@@ -399,11 +423,11 @@ class TableCache:
             return None
         os.utime(path)  # LRU touch
         return CostTables(graph=graph, space=space, machine=machine,
-                          lc=lc, pair_tx=pair_tx)
+                          lc=lc, pair_tx=pair_tx, mem=mem)
 
     @staticmethod
     def _read_mmap(path: Path):
-        """Zero-copy read: ``(manifest, lc, pair_tx)`` as read-only
+        """Zero-copy read: ``(manifest, lc, pair_tx, mem)`` as read-only
         views over one shared mapping of the entry (POSIX keeps the
         mapping valid even if the file is later evicted)."""
         from .shm import open_npz_mmap
@@ -416,11 +440,15 @@ class TableCache:
         for i, joined in enumerate(manifest["pairs"]):
             u, v = joined.split(_PAIR_SEP)
             pair_tx[(u, v)] = data[f"tx_{i}"]
-        return manifest, lc, pair_tx
+        mem = None
+        if "mem_nodes" in manifest:
+            mem = {name: data[f"mem_{i}"]
+                   for i, name in enumerate(manifest["mem_nodes"])}
+        return manifest, lc, pair_tx, mem
 
     @staticmethod
     def _read_eager(path: Path):
-        """Copying read: ``(manifest, lc, pair_tx)`` as owned arrays."""
+        """Copying read: ``(manifest, lc, pair_tx, mem)`` as owned arrays."""
         with np.load(path, allow_pickle=False) as data:
             manifest = json.loads(str(data["manifest"]))
             lc = {name: data[f"lc_{i}"]
@@ -429,7 +457,11 @@ class TableCache:
             for i, joined in enumerate(manifest["pairs"]):
                 u, v = joined.split(_PAIR_SEP)
                 pair_tx[(u, v)] = data[f"tx_{i}"]
-        return manifest, lc, pair_tx
+            mem = None
+            if "mem_nodes" in manifest:
+                mem = {name: data[f"mem_{i}"]
+                       for i, name in enumerate(manifest["mem_nodes"])}
+        return manifest, lc, pair_tx, mem
 
     def _quarantine(self, path: Path, *, reason: str) -> None:
         """Move a bad entry to ``corrupt/`` (counted, never re-read).

@@ -68,6 +68,7 @@ class SweepTask:
     method: str = "ours"
     seed: int = 0
     reduce: bool = False
+    objective: str = "cost"
     resilient: bool = False
     memory_budget: int | None = None
     faults: Mapping[str, Any] | None = None
@@ -77,6 +78,11 @@ class SweepTask:
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready canonical description (drives the task id)."""
         out = asdict(self)
+        if out["objective"] == "cost":
+            # Omitted when default so every pre-frontier task keeps its
+            # task id (journal directories and manifest slots are keyed
+            # on it — resumes of existing sweeps must not churn).
+            del out["objective"]
         if out["faults"] is not None:
             out["faults"] = json.loads(json.dumps(out["faults"],
                                                   sort_keys=True))
@@ -100,6 +106,8 @@ class SweepTask:
             bits.append(self.mode)
         if self.reduce:
             bits.append("reduce")
+        if self.objective != "cost":
+            bits.append(self.objective)
         if self.resilient:
             bits.append("resilient")
         if self.faults_name:
@@ -142,6 +150,16 @@ class SweepTask:
         if self.memory_budget is not None and self.memory_budget <= 0:
             raise SweepSpecError(
                 f"memory_budget={self.memory_budget} must be positive")
+        try:
+            from ..core.frontier import parse_objective
+
+            obj = parse_objective(self.objective)
+        except ValueError as err:
+            raise SweepSpecError(str(err)) from None
+        if obj.is_frontier and self.method != "ours":
+            raise SweepSpecError(
+                f"objective {self.objective!r} requires method 'ours', "
+                f"got {self.method!r}")
         if self.faults is not None:
             from ..resilience import FaultPlan
 
@@ -170,6 +188,7 @@ class SweepSpec:
     methods: tuple[str, ...] = ("ours",)
     seeds: tuple[int, ...] = (0,)
     reduce: tuple[bool, ...] = (False,)
+    objectives: tuple[str, ...] = ("cost",)
     resilient: tuple[bool, ...] = (False,)
     memory_budget: int | None = None
     fault_plans: tuple[Any, ...] = (None,)
@@ -177,8 +196,8 @@ class SweepSpec:
 
     def __post_init__(self) -> None:
         for name in ("models", "machines", "ps", "modes", "methods",
-                     "seeds", "reduce", "resilient", "fault_plans",
-                     "tasks"):
+                     "seeds", "reduce", "objectives", "resilient",
+                     "fault_plans", "tasks"):
             object.__setattr__(self, name, tuple(getattr(self, name)))
 
     # -- construction --------------------------------------------------------
@@ -219,6 +238,10 @@ class SweepSpec:
 
     def to_dict(self) -> dict[str, Any]:
         out = asdict(self)
+        if out["objectives"] == ["cost"] or out["objectives"] == ("cost",):
+            # Default axis is omitted: the spec fingerprint — and with it
+            # ``--resume`` of pre-frontier sweeps — must not churn.
+            del out["objectives"]
         out["version"] = SPEC_VERSION
         return json.loads(json.dumps(out, sort_keys=True))
 
@@ -230,11 +253,11 @@ class SweepSpec:
     # -- expansion -----------------------------------------------------------
 
     def _grid(self) -> Iterator[SweepTask]:
-        for (model, machine, p, mode, method, seed, red, res,
+        for (model, machine, p, mode, method, seed, red, obj, res,
              plan) in itertools.product(
                 self.models, self.machines, self.ps, self.modes,
-                self.methods, self.seeds, self.reduce, self.resilient,
-                self.fault_plans):
+                self.methods, self.seeds, self.reduce, self.objectives,
+                self.resilient, self.fault_plans):
             faults = faults_name = None
             if plan is not None:
                 if not isinstance(plan, Mapping) or "plan" not in plan:
@@ -246,7 +269,8 @@ class SweepSpec:
             yield SweepTask(
                 model=model, machine=machine, p=int(p), mode=mode,
                 method=method, seed=int(seed), reduce=bool(red),
-                resilient=bool(res), memory_budget=self.memory_budget,
+                objective=str(obj), resilient=bool(res),
+                memory_budget=self.memory_budget,
                 faults=faults, faults_name=faults_name)
 
     def expand(self) -> list[SweepTask]:

@@ -232,15 +232,15 @@ def _run_task(task: SweepTask, attempt: int, fleet: Path,
     try:
         outcome = execute_search(
             graph, space, machine, method=task.method, seed=task.seed,
-            reduce=task.reduce, resilient=task.resilient, ctx=ctx,
-            resume=resume)
+            reduce=task.reduce, objective=task.objective,
+            resilient=task.resilient, ctx=ctx, resume=resume)
     except JournalError:
         if not resume:
             raise
         outcome = execute_search(
             graph, space, machine, method=task.method, seed=task.seed,
-            reduce=task.reduce, resilient=task.resilient, ctx=ctx,
-            resume=False)
+            reduce=task.reduce, objective=task.objective,
+            resilient=task.resilient, ctx=ctx, resume=False)
     result = outcome.result
     record: dict[str, Any] = {
         "task_id": task.task_id,
@@ -251,6 +251,15 @@ def _run_task(task: SweepTask, attempt: int, fleet: Path,
         "strategy": {n: list(c) for n, c in
                      result.strategy.assignment.items()},
     }
+    if task.objective != "cost":
+        # Frontier tasks record every non-dominated point (strategies
+        # included) so sweep consumers can select under memory caps
+        # without re-running the search.
+        record["frontier"] = [
+            {"cost": pt.cost, "peak_bytes": pt.peak_bytes,
+             "strategy": {n: list(c) for n, c in
+                          pt.strategy.assignment.items()}}
+            for pt in result.frontier]
     if task.faults is not None:
         from ..cluster import simulate_step
         from ..resilience import FaultPlan

@@ -14,7 +14,16 @@ degradation ladder and records every rung in a `ResilienceReport`:
    (e.g. the breadth-first baseline), fall back to GENERATESEQ, which
    minimizes dependent-set sizes and hence table bytes (Theorem 1 makes
    any ordering valid, so this degrades table size, not correctness);
-4. **configuration-space coarsening** — repeatedly halve each node's
+4. **frontier-point selection** — only when the caller *tightened* the
+   byte budget below the default: run the exact Pareto-frontier DP
+   (`repro.core.frontier`) at the default budget and return the
+   min-cost point whose ``peak_bytes`` fits the caller's budget
+   (`repro.api.select_point`).  Unlike coarsening this is **exact** —
+   the point is a true optimum under the memory cap, not an optimum of
+   a pruned space — so it outranks coarsening on the ladder; its own
+   `SearchResourceError` (frontier too big, or no point fits) falls
+   through to the rung below;
+5. **configuration-space coarsening** — repeatedly halve each node's
    configuration count, keeping the serial configuration plus the
    lowest-layer-cost candidates.  Table bytes scale as ``K^{|D(i)|}``,
    so each halving cuts them exponentially; the cost optimum is now over
@@ -125,6 +134,65 @@ def coarsen_config_space(space: ConfigSpace, tables: CostTables,
     return new_space, new_tables
 
 
+def _frontier_select_attempt(
+    graph: CompGraph,
+    space: ConfigSpace,
+    tables: CostTables,
+    report: ResilienceReport,
+    tracer,
+    *,
+    order: Sequence[str] | None,
+    chunk_cells: int,
+    memory_budget: int,
+    method_name: str,
+    ctx: "object | None",
+    on_error,
+) -> SearchResult | None:
+    """One frontier-select rung: exact frontier at the *default* DP
+    budget, then the min-cost point fitting the caller's budget.
+
+    Returns the selected point as a `SearchResult` (its length-1
+    ``frontier`` is the chosen point, so ``frontier[0].cost == cost``
+    holds like everywhere else), or None after recording the failed
+    attempt — both a too-big frontier DP and an unsatisfiable budget
+    raise `SearchResourceError` and fall through to coarsening.
+    """
+    from ..api import select_point
+    from ..core.frontier import find_frontier_strategy
+
+    stage = "frontier-select"
+    detail = (f"exact frontier @ default budget, "
+              f"select peak_bytes<={memory_budget}")
+    checkpoint = None if ctx is None else ctx.make_checkpoint()
+    t0 = time.perf_counter()
+    try:
+        with tracer.span("resilience.attempt", stage=stage, detail=detail):
+            fres = find_frontier_strategy(
+                graph, space, tables, order=order,
+                memory_budget=DEFAULT_MEMORY_BUDGET,
+                chunk_cells=chunk_cells,
+                method_name=f"{method_name}+frontier",
+                checkpoint=checkpoint)
+            point = select_point(fres.frontier, memory_budget)
+    except SearchResourceError as err:
+        report.attempts.append(AttemptRecord(
+            stage=stage, detail=detail,
+            elapsed=time.perf_counter() - t0, error=str(err),
+            requested_bytes=err.requested_bytes,
+            budget_bytes=err.budget_bytes))
+        on_error.last_error = err
+        return None
+    report.attempts.append(AttemptRecord(
+        stage=stage, detail=detail, elapsed=time.perf_counter() - t0))
+    report.succeeded = True
+    stats = dict(fres.stats)
+    stats["resilience_retries"] = float(report.retries)
+    stats["frontier_selected_peak_bytes"] = float(point.peak_bytes)
+    return SearchResult(strategy=point.strategy, cost=point.cost,
+                        elapsed=fres.elapsed, method=fres.method,
+                        stats=stats, frontier=(point,))
+
+
 def resilient_find_best_strategy(
     graph: CompGraph,
     space: ConfigSpace,
@@ -218,7 +286,20 @@ def resilient_find_best_strategy(
             if res is not None:
                 return res
 
-        # Rung 4: configuration-space coarsening, halving K each round.
+        # Rung 4: exact frontier-point selection under the caller's
+        # budget, read as a memory cap.  Only meaningful when the budget
+        # was tightened below the default — at the default the frontier
+        # DP has no extra headroom to trade for exactness.
+        if memory_budget < DEFAULT_MEMORY_BUDGET:
+            res = _frontier_select_attempt(
+                graph, cur_space, cur_tables, report, tracer,
+                order=cur_order, chunk_cells=cur_chunk,
+                memory_budget=memory_budget, method_name=method_name,
+                ctx=ctx, on_error=attempt)
+            if res is not None:
+                return res
+
+        # Rung 5: configuration-space coarsening, halving K each round.
         for rnd in range(1, coarsen_rounds + 1):
             if cur_space.max_size <= 1:
                 break

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import TYPE_CHECKING, Any
 
 from ..core.exceptions import JournalError
-from ..core.strategy import SearchResult, Strategy
+from ..core.strategy import FrontierPoint, SearchResult, Strategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..core.tablecache import TableCache
@@ -184,9 +184,15 @@ class SearchJournal:
     # -- results -------------------------------------------------------------
 
     def record_result(self, result: SearchResult) -> None:
-        """Journal the finished search so a resume replays it verbatim."""
+        """Journal the finished search so a resume replays it verbatim.
+
+        The Pareto frontier is stored only when the result carries one
+        (``objective="frontier"`` runs); scalar runs journal exactly the
+        pre-frontier schema, so existing journals replay unchanged and
+        their length-1 frontier is re-synthesized on replay instead.
+        """
         assert self.state is not None, "journal not opened"
-        self.state["phases"]["search"] = {
+        rec = {
             "done": True,
             "method": result.method,
             "cost": result.cost,
@@ -194,6 +200,12 @@ class SearchJournal:
             "stats": _normalize(dict(result.stats)),
             "strategy": json.loads(result.strategy.to_json()),
         }
+        if result.frontier:
+            rec["frontier"] = [
+                {"cost": pt.cost, "peak_bytes": pt.peak_bytes,
+                 "strategy": json.loads(pt.strategy.to_json())}
+                for pt in result.frontier]
+        self.state["phases"]["search"] = rec
         self.flush()
 
     def load_result(self) -> SearchResult | None:
@@ -204,12 +216,19 @@ class SearchJournal:
         if not rec or not rec.get("done"):
             return None
         strategy = Strategy({n: tuple(c) for n, c in rec["strategy"].items()})
+        frontier = tuple(
+            FrontierPoint(
+                cost=float(p["cost"]), peak_bytes=float(p["peak_bytes"]),
+                strategy=Strategy(
+                    {n: tuple(c) for n, c in p["strategy"].items()}))
+            for p in rec.get("frontier", ()))
         return SearchResult(
             strategy=strategy,
             cost=float(rec["cost"]),
             elapsed=float(rec["elapsed"]),
             method=str(rec["method"]),
             stats={k: float(v) for k, v in rec["stats"].items()},
+            frontier=frontier,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

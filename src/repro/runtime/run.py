@@ -63,7 +63,12 @@ __all__ = ["RunOutcome", "execute_search", "run_fingerprint"]
 #: "always") and ``reduce_bypass_ratio`` records the auto-bypass
 #: threshold — both can change which (equal-cost) strategy is returned,
 #: so resuming across them must not silently mix paths.
+#: v3: frontier runs add an ``objective`` key (and their table digest
+#: covers the memory tables).  Scalar runs **stay on v2** and emit the
+#: exact pre-frontier dict — cached journals and serve coalesce keys
+#: must not churn for anyone not using the new objective.
 _FINGERPRINT_VERSION = 2
+_FINGERPRINT_VERSION_FRONTIER = 3
 
 
 @dataclass
@@ -79,7 +84,8 @@ class RunOutcome:
 def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
                     *, method: str, seed: int, reduce: "bool | str",
                     resilient: bool, memory_budget: int,
-                    order: Sequence[str] | None) -> dict:
+                    order: Sequence[str] | None,
+                    objective: "str | object" = "cost") -> dict:
     """Canonical description of everything the run's *answer* depends on.
 
     Built on `table_digest` (graph, machine, configuration space, cost
@@ -93,14 +99,22 @@ def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
     must never change what it computes.  The reduce *mode* and the
     auto-bypass ratio are included: reduced and plain searches return
     equal costs but may pick different equal-cost strategies.
+
+    ``objective="cost"`` (however spelled) emits the byte-identical v2
+    dict this function always produced; frontier objectives emit v3 with
+    the canonical objective string and a memory-covering table digest.
     """
     from ..core.dp import _bypass_ratio, _resolve_reduce_mode
+    from ..core.frontier import parse_objective
     from ..core.tablecache import table_digest
 
+    obj = parse_objective(objective)
     mode = _resolve_reduce_mode(reduce)
-    return {
-        "version": _FINGERPRINT_VERSION,
-        "tables_digest": table_digest(graph, space, model),
+    fp = {
+        "version": (_FINGERPRINT_VERSION_FRONTIER if obj.is_frontier
+                    else _FINGERPRINT_VERSION),
+        "tables_digest": table_digest(graph, space, model,
+                                      memory=obj.is_frontier),
         "method": method,
         "seed": int(seed),
         "reduce": mode,
@@ -112,6 +126,9 @@ def run_fingerprint(graph: CompGraph, space: ConfigSpace, model: CostModel,
         "mode": space.mode,
         "machine": model.machine.name,
     }
+    if obj.is_frontier:
+        fp["objective"] = obj.canonical
+    return fp
 
 
 def execute_search(
@@ -124,6 +141,7 @@ def execute_search(
     seed: int = 0,
     order: Sequence[str] | None = None,
     reduce: "bool | str" = False,
+    objective: str = "cost",
     resilient: bool = False,
     ctx: RunContext | None = None,
     resume: bool = False,
@@ -144,6 +162,15 @@ def execute_search(
         ``"ours"`` runs the tensorized DP (optionally ``resilient`` /
         ``reduce`` / with a caller ``order``); anything else dispatches
         to the matching baseline via `repro.experiments.common`.
+    objective:
+        ``"cost"`` (default) keeps the scalar pipeline exactly as
+        before — same code path, v2 fingerprint, bit-identical results.
+        ``"frontier"`` / ``"frontier:eps=<float>"`` runs the
+        multi-objective DP: the tables phase also builds per-node memory
+        tables (same jobs/cache/shm data plane) and the result's
+        ``.frontier`` carries the full (cost, peak-bytes) Pareto set.
+        Either way ``RunOutcome.result.frontier`` is non-empty — scalar
+        runs get a synthesized length-1 frontier holding their optimum.
     ctx:
         The run's `RunContext`: budget (deadline + DP memory),
         cancellation token (pair with `trap_signals`), crash-safe
@@ -182,6 +209,9 @@ def execute_search(
             cache=None if cache is UNSET else cache)
     if ctx is None:
         ctx = RunContext()
+    from ..core.frontier import parse_objective
+
+    obj = parse_objective(objective)  # validate before any work
     if model is None:
         if machine is None:
             raise ValueError("pass either machine= or model=")
@@ -202,7 +232,7 @@ def execute_search(
     fingerprint = run_fingerprint(
         graph, space, model, method=method, seed=seed, reduce=reduce,
         resilient=resilient, memory_budget=run_budget.memory_budget,
-        order=order)
+        order=order, objective=obj)
 
     with ctx.observe(), kernels.use(ctx.kernel), tracer.span(
             "run", method=method, p=space.p, reduce=str(reduce),
@@ -226,6 +256,7 @@ def execute_search(
                         with tracer.span(name, replayed=True):
                             pass
                         report.add_phase(name, 0.0, "journal")
+                    prior = _ensure_frontier(prior, graph, space)
                     report.best_cost = prior.cost
                     run_span.set(best_cost=prior.cost, replayed=True)
                     return RunOutcome(result=prior, report=report)
@@ -245,7 +276,8 @@ def execute_search(
                 if journal_obj is not None:
                     tables_ctx = ctx.with_overrides(
                         cache=journal_obj.table_cache())
-                tables = model.build_tables(graph, space, ctx=tables_ctx)
+                tables = model.build_tables(graph, space, ctx=tables_ctx,
+                                            memory=obj.is_frontier)
                 status = ("cache-hit"
                           if tables.build_stats.get("cache_hit") else "ok")
                 if tables.build_stats.get("degraded"):
@@ -284,7 +316,7 @@ def execute_search(
                         result, resilience = resilient_find_best_strategy(
                             graph, space, tables, order=order,
                             memory_budget=run_budget.memory_budget,
-                            search_fn=_reducing_search(reduce), ctx=ctx)
+                            search_fn=_reducing_search(reduce, obj), ctx=ctx)
                         if resilience.retries:
                             msg = ("resilient ladder degraded "
                                    f"{resilience.retries}x: "
@@ -296,7 +328,7 @@ def execute_search(
                         result = find_best_strategy(
                             graph, space, tables, order=order,
                             memory_budget=run_budget.memory_budget,
-                            reduce=reduce, ctx=ctx)
+                            reduce=reduce, objective=obj.canonical, ctx=ctx)
                 else:
                     result = _run_baseline(graph, space, tables, machine,
                                            method, seed, reduce)
@@ -308,7 +340,11 @@ def execute_search(
             report.best_cost = result.cost
             run_span.set(best_cost=result.cost)
             if journal_obj is not None:
+                # Journal the raw result: scalar runs keep the exact
+                # pre-frontier schema (their length-1 frontier is
+                # synthesized, not stored).
                 journal_obj.record_result(result)
+            result = _ensure_frontier(result, graph, space, tables=tables)
             return RunOutcome(result=result, report=report, tables=tables,
                               resilience=resilience)
 
@@ -326,13 +362,41 @@ def execute_search(
             raise
 
 
-def _reducing_search(reduce: "bool | str"):
-    """`find_best_strategy` with ``reduce`` pre-bound, for the ladder."""
-    if not reduce:
+def _reducing_search(reduce: "bool | str", obj=None):
+    """`find_best_strategy` with ``reduce``/``objective`` pre-bound,
+    for the resilient ladder."""
+    frontier = obj is not None and obj.is_frontier
+    if not reduce and not frontier:
         return find_best_strategy
     from functools import partial
 
-    return partial(find_best_strategy, reduce=reduce)
+    kwargs = {}
+    if reduce:
+        kwargs["reduce"] = reduce
+    if frontier:
+        kwargs["objective"] = obj.canonical
+    return partial(find_best_strategy, **kwargs)
+
+
+def _ensure_frontier(result: SearchResult, graph: CompGraph,
+                     space: ConfigSpace,
+                     tables: CostTables | None = None) -> SearchResult:
+    """Uniform ``.frontier`` access: scalar results gain a synthesized
+    length-1 frontier holding their optimum (frontier runs already carry
+    the full set — returned unchanged)."""
+    if result.frontier:
+        return result
+    from dataclasses import replace
+
+    from ..core.frontier import strategy_peak_bytes
+    from ..core.strategy import FrontierPoint
+
+    mem_tables = getattr(tables, "mem", None) if tables is not None else None
+    peak = strategy_peak_bytes(graph, space, result.strategy,
+                               mem_tables=mem_tables)
+    point = FrontierPoint(cost=result.cost, peak_bytes=peak,
+                          strategy=result.strategy)
+    return replace(result, frontier=(point,))
 
 
 def _run_baseline(graph: CompGraph, space: ConfigSpace, tables: CostTables,

@@ -6,6 +6,9 @@ from repro.analysis import (
     config_count_stats,
     degree_histogram,
     dependent_set_profile,
+    format_bytes,
+    format_frontier_plot,
+    format_frontier_table,
     format_grid,
     format_speedup_table,
     format_table_build_stats,
@@ -76,3 +79,36 @@ class TestReporting:
                  "table_jobs": 1.0, "table_cells": 500_000.0}
         text = format_table_build_stats(stats)
         assert text == "cost tables: 1.250s (cache hit, 0.50M cells)"
+
+
+class TestFrontierReporting:
+    @staticmethod
+    def point(cost, peak):
+        from repro.core.strategy import FrontierPoint, Strategy
+
+        return FrontierPoint(cost=cost, peak_bytes=peak,
+                             strategy=Strategy({"n0": (1, 1, 1, 1, 1)}))
+
+    def test_format_bytes(self):
+        assert format_bytes(512) == "512 B"
+        assert format_bytes(1536) == "1.50 KiB"
+        assert format_bytes(1.5 * 1024 ** 3) == "1.50 GiB"
+
+    def test_table_marks_min_cost_row(self):
+        frontier = [self.point(1.0e9, 4096.0), self.point(2.0e9, 1024.0)]
+        text = format_frontier_table(frontier)
+        lines = text.splitlines()
+        assert "min-cost" in lines[2] and "min-cost" not in lines[3]
+        assert "4.00 KiB" in text and "1.00 KiB" in text
+
+    def test_table_empty(self):
+        assert format_frontier_table([]) == "frontier: empty"
+
+    def test_plot_scatter_and_degenerate(self):
+        frontier = [self.point(1.0e9, 4096.0), self.point(2.0e9, 1024.0)]
+        plot = format_frontier_plot(frontier)
+        assert "o" in plot and "*" in plot and "min-cost" in plot
+        # A single point collapses to a one-line summary, not a plot.
+        single = format_frontier_plot(frontier[:1])
+        assert single.startswith("frontier: 1 point(s)")
+        assert format_frontier_plot([]) == "frontier: empty"

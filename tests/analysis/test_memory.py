@@ -47,6 +47,24 @@ class TestMemoryModel:
         for nm in mem.values():
             assert nm.total == nm.params + nm.activations + nm.comm_buffers
 
+    def test_node_bytes_matches_node_memory(self):
+        """The vectorized per-config table (`node_bytes`, the frontier's
+        second objective axis) agrees exactly with the per-strategy
+        scalar path (`node_memory`) on every enumerated config."""
+        g = rnnlm()
+        space = ConfigSpace.build(g, 8)
+        mm = MemoryModel()
+        for name in g.node_names:
+            op = g.node(name)
+            configs = space.configs(name)
+            table = mm.node_bytes(op, configs)
+            assert table.shape == (space.size(name),)
+            base = dict(Strategy.serial(g).assignment)
+            for k in range(space.size(name)):
+                base[name] = tuple(int(v) for v in configs[k])
+                strat = Strategy(base)
+                assert table[k] == mm.node_memory(g, strat, name).total
+
 
 class TestMemoryPruning:
     def test_generous_capacity_keeps_everything(self):

@@ -266,3 +266,54 @@ class TestParallelBuild:
         assert tables.build_stats["build_seconds"] >= 0.0
         assert tables.build_stats["cells"] == \
             float(CostModel.table_work_cells(g, space))
+
+
+class TestMemoryTables:
+    """`build_tables(memory=True)`: the frontier's second objective axis
+    rides the same jobs/arena data plane as the cost tables."""
+
+    def setup_instance(self):
+        g = build_dag(4, [(0, 2), (1, 3)], param_mask=0b1010,
+                      reduction_mask=0b0100)
+        space = ConfigSpace.build(g, 8)
+        return g, space, CostModel(GTX1080TI)
+
+    def test_scalar_build_has_no_mem(self):
+        g, space, cm = self.setup_instance()
+        tables = cm.build_tables(g, space)
+        assert tables.mem is None
+
+    def test_mem_matches_memory_model(self):
+        from repro.analysis.memory import MemoryModel
+        g, space, cm = self.setup_instance()
+        tables = cm.build_tables(g, space, memory=True)
+        assert tables.mem is not None and set(tables.mem) == \
+            set(g.node_names)
+        mm = MemoryModel()
+        for n in g.node_names:
+            assert tables.mem[n].shape == (space.size(n),)
+            assert tables.mem[n].dtype == np.float64
+            assert np.array_equal(
+                tables.mem[n], mm.node_bytes(g.node(n), space.configs(n)))
+
+    def test_all_backends_bit_identical(self, monkeypatch):
+        import repro.core.costmodel as costmodel
+        monkeypatch.setattr(costmodel, "PARALLEL_THRESHOLD_CELLS", 0)
+        g, space, cm = self.setup_instance()
+        serial = cm.build_tables(g, space, memory=True)
+        thr = cm.build_tables(g, space, memory=True, jobs="threads:2")
+        par = cm.build_tables(g, space, memory=True, jobs="processes:2")
+        for other in (thr, par):
+            assert set(other.mem) == set(serial.mem)
+            for n in serial.mem:
+                assert np.array_equal(serial.mem[n], other.mem[n])
+        # The cost tables are unchanged by the memory flag.
+        plain = cm.build_tables(g, space)
+        for n in plain.lc:
+            assert np.array_equal(plain.lc[n], serial.lc[n])
+
+    def test_mem_counts_into_nbytes(self):
+        g, space, cm = self.setup_instance()
+        plain = cm.build_tables(g, space)
+        with_mem = cm.build_tables(g, space, memory=True)
+        assert with_mem.nbytes() > plain.nbytes()

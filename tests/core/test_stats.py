@@ -13,8 +13,10 @@ def test_every_registered_key_validates():
 
 
 def test_prefixed_keys_validate():
-    validate_stats_keys(["table_seconds_build", "reduction_rounds"])
-    assert set(STATS_KEY_PREFIXES) == {"table_", "reduction_"}
+    validate_stats_keys(["table_seconds_build", "reduction_rounds",
+                         "frontier_points", "frontier_eps",
+                         "frontier_selected_peak_bytes"])
+    assert set(STATS_KEY_PREFIXES) == {"table_", "reduction_", "frontier_"}
 
 
 def test_unknown_key_raises_with_name():

@@ -135,6 +135,79 @@ class TestStoreLoad:
         assert cache.store(table_digest(g, space, cm), coarse) is None
 
 
+class TestMemoryEntries:
+    """Memory-covering digests and the ``mem_*`` payload round-trip."""
+
+    def test_memory_flag_changes_digest(self):
+        g, space, cm = setup_instance()
+        assert table_digest(g, space, cm) != \
+            table_digest(g, space, cm, memory=True)
+
+    def test_scalar_digest_unchanged_by_flag_default(self):
+        g, space, cm = setup_instance()
+        assert table_digest(g, space, cm) == \
+            table_digest(g, space, cm, memory=False)
+
+    def test_mem_roundtrip(self, tmp_path):
+        g, space, cm = setup_instance()
+        tables = cm.build_tables(g, space, memory=True)
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm, memory=True)
+        path = cache.store(digest, tables)
+        assert path is not None
+        loaded = cache.load(digest, g, space, cm.machine)
+        assert loaded is not None and loaded.mem is not None
+        assert tables_equal(tables, loaded)
+        assert set(loaded.mem) == set(tables.mem)
+        for n in tables.mem:
+            assert np.array_equal(tables.mem[n], loaded.mem[n])
+
+    def test_scalar_entry_loads_without_mem(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm)
+        cache.store(digest, cm.build_tables(g, space))
+        loaded = cache.load(digest, g, space, cm.machine)
+        assert loaded is not None and loaded.mem is None
+
+    def test_mem_manifest_and_checksum(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm, memory=True)
+        path = cache.store(digest, cm.build_tables(g, space, memory=True))
+        with np.load(path, allow_pickle=False) as data:
+            manifest = json.loads(str(data["manifest"]))
+            assert set(manifest["mem_nodes"]) == set(g.node_names)
+            assert all(f"mem_{i}" in data.files
+                       for i in range(len(manifest["mem_nodes"])))
+
+    def test_tampered_mem_payload_quarantined(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        digest = table_digest(g, space, cm, memory=True)
+        path = cache.store(digest, cm.build_tables(g, space, memory=True))
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["mem_0"] = arrays["mem_0"] + 1.0
+        np.savez(path, **arrays)
+        assert cache.load(digest, g, space, cm.machine) is None
+        assert cache.quarantined == 1
+
+    def test_build_tables_memory_cache_hit(self, tmp_path):
+        g, space, cm = setup_instance()
+        cache = TableCache(tmp_path)
+        cold = cm.build_tables(g, space, memory=True, cache=cache)
+        warm = cm.build_tables(g, space, memory=True, cache=cache)
+        assert warm.build_stats["cache_hit"] == 1.0
+        assert warm.mem is not None
+        for n in cold.mem:
+            assert np.array_equal(cold.mem[n], warm.mem[n])
+        # A scalar build keys a *different* entry — no false sharing.
+        scalar = cm.build_tables(g, space, cache=cache)
+        assert scalar.build_stats["cache_hit"] == 0.0
+        assert scalar.mem is None
+
+
 class TestBuildTablesIntegration:
     def test_cold_build_populates(self, tmp_path):
         g, space, cm = setup_instance()

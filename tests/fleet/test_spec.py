@@ -118,6 +118,58 @@ class TestIdentity:
         assert again.fingerprint() == spec.fingerprint()
 
 
+class TestObjectiveAxis:
+    def test_objective_axis_expands(self):
+        spec = small_spec(methods=["ours"],
+                          objectives=["cost", "frontier"])
+        tasks = spec.expand()
+        assert len(tasks) == 4
+        assert sorted({t.objective for t in tasks}) == ["cost", "frontier"]
+
+    def test_default_objective_omitted_from_task_dict(self):
+        """Pre-frontier task ids must not churn: a default-objective task
+        serializes without the field, so journal directories and
+        manifest slots keyed on the id stay valid across resumes."""
+        task = SweepTask(model="alexnet", p=4)
+        assert "objective" not in task.to_dict()
+        assert task.task_id == \
+            SweepTask(model="alexnet", p=4, objective="cost").task_id
+
+    def test_frontier_objective_changes_task_id_and_label(self):
+        plain = SweepTask(model="alexnet")
+        frontier = SweepTask(model="alexnet", objective="frontier")
+        assert plain.task_id != frontier.task_id
+        assert "frontier" in frontier.label
+        assert "frontier" not in plain.label
+
+    def test_default_objectives_axis_omitted_from_spec_dict(self):
+        spec = small_spec()
+        assert "objectives" not in spec.to_dict()
+        assert spec.fingerprint() == \
+            small_spec(objectives=["cost"]).fingerprint()
+        assert spec.fingerprint() != \
+            small_spec(methods=["ours"],
+                       objectives=["cost", "frontier"]).fingerprint()
+
+    def test_bad_objective_rejected(self):
+        with pytest.raises(SweepSpecError, match="objective"):
+            small_spec(methods=["ours"], objectives=["speed"]).expand()
+
+    def test_frontier_requires_ours(self):
+        spec = small_spec(objectives=["frontier"])  # includes data_parallel
+        with pytest.raises(SweepSpecError, match="requires method 'ours'"):
+            spec.expand()
+
+    def test_eps_objective_round_trips(self):
+        spec = small_spec(methods=["ours"],
+                          objectives=["frontier:eps=0.1"])
+        tasks = spec.expand()
+        assert all(t.objective == "frontier:eps=0.1" for t in tasks)
+        again = SweepSpec.from_dict(
+            json.loads(json.dumps(spec.to_dict())))
+        assert again.fingerprint() == spec.fingerprint()
+
+
 class TestFromFile:
     def test_reads_a_spec_file(self, tmp_path):
         path = tmp_path / "spec.json"

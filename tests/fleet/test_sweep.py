@@ -65,6 +65,24 @@ class TestCleanSweep:
         assert (tmp_path / "narrow" / "results.jsonl").read_bytes() == \
             (tmp_path / "wide" / "results.jsonl").read_bytes()
 
+    def test_frontier_tasks_merge_their_pareto_sets(self, tmp_path):
+        spec = sweep_spec(ps=[2], objectives=["cost", "frontier"])
+        report = run_fleet(spec, tmp_path / "fleet", workers=2)
+        assert report.clean and report.succeeded == 2
+        records = [json.loads(line)
+                   for line in read_lines(tmp_path / "fleet")]
+        by_obj = {r["task"].get("objective", "cost"): r for r in records}
+        # Scalar records keep the exact pre-frontier schema.
+        assert "frontier" not in by_obj["cost"]
+        pts = by_obj["frontier"]["frontier"]
+        assert len(pts) >= 1
+        assert pts[0]["cost"] == by_obj["frontier"]["cost"]
+        assert pts[0]["cost"] == by_obj["cost"]["cost"]  # bit-identical
+        for a, b in zip(pts, pts[1:]):
+            assert a["cost"] <= b["cost"]
+            assert a["peak_bytes"] > b["peak_bytes"]
+        assert all(isinstance(p["strategy"], dict) for p in pts)
+
     def test_resume_rejects_an_edited_spec(self, tmp_path):
         run_fleet(sweep_spec(), tmp_path / "fleet", workers=2)
         with pytest.raises(JournalError, match="fingerprint"):

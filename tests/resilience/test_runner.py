@@ -83,7 +83,9 @@ class TestResilientSearch:
         assert res.cost == pytest.approx(
             find_best_strategy(g, space, tables).cost)
 
-    def test_coarsening_rescues_tight_budget(self, problem):
+    def test_frontier_select_rescues_tight_budget(self, problem):
+        """A tightened budget that some frontier point fits is rescued by
+        the exact frontier-select rung — not by lossy coarsening."""
         g, space, tables = problem
         gen_peak = int(find_best_strategy(g, space, tables)
                        .stats["peak_bytes"])
@@ -93,10 +95,44 @@ class TestResilientSearch:
         res, rep = resilient_find_best_strategy(
             g, space, tables, memory_budget=budget)
         assert rep.succeeded
+        assert "frontier-select" in rep.degradations
+        assert not any(s.startswith("coarsen") for s in rep.degradations)
+        res.strategy.validate(g, space.p)
+        # The selection is exact and self-describing: a length-1 frontier
+        # whose point is the result, with its footprint in the stats.
+        assert res.frontier[0].cost == res.cost
+        assert res.frontier[0].peak_bytes <= budget
+        assert res.stats["frontier_selected_peak_bytes"] == \
+            res.frontier[0].peak_bytes
+        assert res.stats["resilience_retries"] == float(rep.retries)
+
+    def test_coarsening_rescues_when_no_frontier_point_fits(self, problem):
+        """A budget below every frontier footprint exhausts rung 4 and
+        falls through to configuration-space coarsening."""
+        from repro.core.frontier import find_frontier_strategy
+
+        g, space, tables = problem
+        frontier = find_frontier_strategy(g, space, tables).frontier
+        budget = int(min(pt.peak_bytes for pt in frontier)) - 1
+        res, rep = resilient_find_best_strategy(
+            g, space, tables, memory_budget=budget)
+        assert rep.succeeded
+        assert "frontier-select" in rep.degradations
+        failed = next(a for a in rep.attempts
+                      if a.stage == "frontier-select")
+        assert not failed.ok
+        assert failed.requested_bytes is not None
         assert any(s.startswith("coarsen") for s in rep.degradations)
         # The coarsened optimum is still a valid strategy on the graph.
         res.strategy.validate(g, space.p)
         assert np.isfinite(res.cost)
+
+    def test_default_budget_never_runs_frontier_select(self, problem):
+        """At the default budget the rung is skipped entirely — scalar
+        callers keep the scalar ladder."""
+        g, space, tables = problem
+        _, rep = resilient_find_best_strategy(g, space, tables)
+        assert "frontier-select" not in rep.degradations
 
     def test_retry_chain_recorded(self, problem):
         g, space, tables = problem

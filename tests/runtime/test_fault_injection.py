@@ -57,7 +57,7 @@ class TestBrokenPool:
 
         calls = {"n": 0}
 
-        def explode(self, graph, space, workers):
+        def explode(self, graph, space, workers, memory):
             calls["n"] += 1
             raise BrokenProcessPool("worker killed by test")
 
@@ -80,11 +80,11 @@ class TestBrokenPool:
         original = CostModel._build_arrays_parallel
         calls = {"n": 0}
 
-        def flaky(self, graph, space, workers):
+        def flaky(self, graph, space, workers, memory):
             calls["n"] += 1
             if calls["n"] == 1:
                 raise BrokenProcessPool("transient")
-            return original(self, graph, space, workers)
+            return original(self, graph, space, workers, memory)
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", flaky)
         tables = CostModel(GTX1080TI).build_tables(graph, space, jobs="processes:2")
@@ -97,7 +97,7 @@ class TestBrokenPool:
             self, monkeypatch, fast_faults, tmp_path, caplog):
         from concurrent.futures.process import BrokenProcessPool
 
-        def explode(self, graph, space, workers):
+        def explode(self, graph, space, workers, memory):
             raise BrokenProcessPool("worker killed by test")
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
@@ -111,7 +111,7 @@ class TestBrokenPool:
         assert any("not caching" in rec.message for rec in caplog.records)
 
     def test_oserror_also_degrades(self, monkeypatch, fast_faults):
-        def explode(self, graph, space, workers):
+        def explode(self, graph, space, workers, memory):
             raise OSError("fork: retry: resource temporarily unavailable")
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)
@@ -189,7 +189,7 @@ class TestInterruptibleBackoff:
 
         cancel = Cancellation()
 
-        def explode(self, graph, space, workers):
+        def explode(self, graph, space, workers, memory):
             # Fail the first attempt, then request cancellation so the
             # backoff before the retry is where the poll must fire.
             cancel.set("SIGINT")
@@ -211,7 +211,7 @@ class TestRuntimeSurfacesDegradation:
 
         from repro.runtime import SearchJournal, execute_search
 
-        def explode(self, graph, space, workers):
+        def explode(self, graph, space, workers, memory):
             raise BrokenProcessPool("worker killed by test")
 
         monkeypatch.setattr(CostModel, "_build_arrays_parallel", explode)

@@ -108,6 +108,41 @@ class TestResultReplay:
         assert loaded.stats == res.stats
         assert loaded.strategy.assignment == res.strategy.assignment
 
+    def test_scalar_result_journals_pre_frontier_schema(self, tmp_path):
+        """A scalar run's journal record has no ``frontier`` key — byte
+        compatibility with journals written before the frontier existed."""
+        j = SearchJournal(tmp_path / "j")
+        j.open(FP, resume=False)
+        j.record_result(make_result())
+        state = json.loads(j.path.read_text())
+        assert "frontier" not in state["phases"]["search"]
+
+    def test_frontier_roundtrip_bit_identical(self, tmp_path):
+        from repro.core.strategy import FrontierPoint
+        base = make_result()
+        pts = (
+            FrontierPoint(cost=base.cost, peak_bytes=3.25e9,
+                          strategy=base.strategy),
+            FrontierPoint(cost=base.cost * 1.5, peak_bytes=1.125e9,
+                          strategy=Strategy({"n0": (1, 1, 1, 1, 1),
+                                             "n1": (2, 2, 1, 1, 1)})),
+        )
+        res = SearchResult(strategy=base.strategy, cost=base.cost,
+                           elapsed=base.elapsed, method="pase-dp+frontier",
+                           stats=base.stats, frontier=pts)
+        j = SearchJournal(tmp_path / "j")
+        j.open(FP, resume=False)
+        j.record_result(res)
+        j2 = SearchJournal(tmp_path / "j")
+        j2.open(FP, resume=True)
+        loaded = j2.load_result()
+        assert loaded is not None
+        assert len(loaded.frontier) == 2
+        for got, want in zip(loaded.frontier, pts):
+            assert got.cost == want.cost  # exact, not approx
+            assert got.peak_bytes == want.peak_bytes
+            assert got.strategy.assignment == want.strategy.assignment
+
     def test_load_result_none_before_search_finishes(self, tmp_path):
         j = SearchJournal(tmp_path / "j")
         j.open(FP, resume=False)

@@ -207,6 +207,120 @@ class TestJournalledRuns:
             run_fingerprint(graph, space, model, **changed)
 
 
+class TestObjectiveThreading:
+    """The objective-aware API: scalar runs are byte-for-byte the old
+    pipeline (fingerprint v2, no frontier work); frontier runs carry the
+    exact Pareto set end to end."""
+
+    def base_kwargs(self):
+        return dict(method="ours", seed=0, reduce=False, resilient=False,
+                    memory_budget=1 << 30, order=None)
+
+    def test_scalar_fingerprint_is_v2_without_objective_key(self):
+        from repro.core.costmodel import CostModel
+
+        graph, space = make_problem()
+        model = CostModel(GTX1080TI)
+        implicit = run_fingerprint(graph, space, model, **self.base_kwargs())
+        explicit = run_fingerprint(graph, space, model, objective="cost",
+                                   **self.base_kwargs())
+        assert implicit == explicit  # byte-identical dict
+        assert implicit["version"] == 2
+        assert "objective" not in implicit
+
+    def test_frontier_fingerprint_is_v3(self):
+        from repro.core.costmodel import CostModel
+
+        graph, space = make_problem()
+        model = CostModel(GTX1080TI)
+        v2 = run_fingerprint(graph, space, model, **self.base_kwargs())
+        v3 = run_fingerprint(graph, space, model, objective="frontier",
+                             **self.base_kwargs())
+        assert v3["version"] == 3
+        assert v3["objective"] == "frontier"
+        # The frontier's table digest covers the memory tables too.
+        assert v3["tables_digest"] != v2["tables_digest"]
+        eps = run_fingerprint(graph, space, model,
+                              objective="frontier:eps=0.5",
+                              **self.base_kwargs())
+        assert eps["objective"] == "frontier:eps=0.5"
+        assert eps != v3
+
+    def test_invalid_objective_rejected_before_any_work(self):
+        graph, space = make_problem()
+        with pytest.raises(ValueError, match="objective"):
+            execute_search(graph, space, GTX1080TI, objective="speed")
+
+    def test_scalar_run_synthesizes_length_one_frontier(self):
+        from repro.core.frontier import strategy_peak_bytes
+
+        graph, space = make_problem()
+        out = execute_search(graph, space, GTX1080TI)
+        assert len(out.result.frontier) == 1
+        pt = out.result.frontier[0]
+        assert pt.cost == out.result.cost
+        assert pt.strategy.assignment == out.result.strategy.assignment
+        assert pt.peak_bytes == strategy_peak_bytes(graph, space,
+                                                    out.result.strategy)
+
+    def test_frontier_run_end_to_end(self):
+        graph, space = make_problem()
+        scalar = execute_search(graph, space, GTX1080TI).result
+        out = execute_search(graph, space, GTX1080TI, objective="frontier")
+        res = out.result
+        assert res.method.endswith("+frontier")
+        assert res.frontier[0].cost == scalar.cost  # bit-identical
+        assert res.cost == scalar.cost
+        assert res.stats["frontier_points"] == float(len(res.frontier))
+        for a, b in zip(res.frontier, res.frontier[1:]):
+            assert a.cost <= b.cost and a.peak_bytes > b.peak_bytes
+        # Same report surface as a scalar run.
+        assert [ph.name for ph in out.report.phases] == ["tables", "search"]
+        assert out.report.clean
+
+    def test_frontier_journal_replay_bit_identical(self, tmp_path):
+        graph, space = make_problem()
+        first = execute_search(graph, space, GTX1080TI,
+                               objective="frontier",
+                               journal=SearchJournal(tmp_path / "j"))
+        replay = execute_search(graph, space, GTX1080TI,
+                                objective="frontier",
+                                journal=SearchJournal(tmp_path / "j"),
+                                resume=True)
+        assert all(ph.status == "journal" for ph in replay.report.phases)
+        assert len(replay.result.frontier) == len(first.result.frontier)
+        for got, want in zip(replay.result.frontier, first.result.frontier):
+            assert got.cost == want.cost
+            assert got.peak_bytes == want.peak_bytes
+            assert got.strategy.assignment == want.strategy.assignment
+
+    def test_scalar_and_frontier_journals_are_distinct_problems(
+            self, tmp_path):
+        graph, space = make_problem()
+        execute_search(graph, space, GTX1080TI,
+                       journal=SearchJournal(tmp_path / "j"))
+        with pytest.raises(JournalError, match="different problem"):
+            execute_search(graph, space, GTX1080TI, objective="frontier",
+                           journal=SearchJournal(tmp_path / "j"),
+                           resume=True)
+
+    def test_frontier_with_reduce_and_resilient(self):
+        import math
+
+        graph, space = make_problem()
+        plain = execute_search(graph, space, GTX1080TI,
+                               objective="frontier").result
+        red = execute_search(graph, space, GTX1080TI, objective="frontier",
+                             reduce="always").result
+        assert len(red.frontier) == len(plain.frontier)
+        for a, b in zip(red.frontier, plain.frontier):
+            assert math.isclose(a.cost, b.cost, rel_tol=1e-9)
+            assert a.peak_bytes == b.peak_bytes
+        res = execute_search(graph, space, GTX1080TI, objective="frontier",
+                             resilient=True)
+        assert res.result.frontier[0].cost == plain.frontier[0].cost
+
+
 class TestResumeProperty:
     @settings(max_examples=12, deadline=None)
     @given(small_dags(max_nodes=5), st.sampled_from([2, 4]),

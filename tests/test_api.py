@@ -7,7 +7,15 @@ import warnings
 import pytest
 
 import repro
-from repro.api import Problem, RunContext, RunOutcome, search, simulate
+from repro.api import (
+    FrontierPoint,
+    Problem,
+    RunContext,
+    RunOutcome,
+    search,
+    select_point,
+    simulate,
+)
 from repro.core.machine import RTX2080TI
 
 
@@ -123,3 +131,71 @@ class TestFingerprint:
 
         assert alexnet8.fingerprint() == \
             alexnet8.fingerprint(memory_budget=DEFAULT_MEMORY_BUDGET)
+
+    def test_objective_in_fingerprint(self, alexnet8):
+        base = alexnet8.fingerprint()
+        assert alexnet8.fingerprint(objective="cost") == base
+        frontier = alexnet8.fingerprint(objective="frontier")
+        assert frontier != base
+        assert alexnet8.fingerprint(objective="frontier:eps=0.1") != frontier
+
+
+class TestFrontierApi:
+    """`search(objective=)`, `select_point`, and the uniform
+    ``.frontier`` surface."""
+
+    @pytest.fixture(scope="class")
+    def chain_problem(self):
+        from tests.conftest import build_dag
+
+        g = build_dag(4, [(0, 2)], param_mask=0b1010, reduction_mask=0b0100)
+        return Problem.from_graph(g, p=8)
+
+    def test_scalar_search_exposes_length_one_frontier(self, chain_problem):
+        out = search(chain_problem)
+        assert len(out.result.frontier) == 1
+        assert isinstance(out.result.frontier[0], FrontierPoint)
+        assert out.result.frontier[0].cost == out.result.cost
+
+    def test_frontier_search_min_cost_bit_identical(self, chain_problem):
+        scalar = search(chain_problem)
+        out = search(chain_problem, objective="frontier")
+        assert out.result.frontier[0].cost == scalar.result.cost
+        assert len(out.result.frontier) >= 1
+
+    def test_select_point_no_budget_returns_min_cost(self, chain_problem):
+        out = search(chain_problem, objective="frontier")
+        assert select_point(out.result.frontier, None) == \
+            out.result.frontier[0]
+
+    def test_select_point_budget_picks_cheapest_fit(self, chain_problem):
+        out = search(chain_problem, objective="frontier")
+        frontier = out.result.frontier
+        smallest = frontier[-1]  # ascending cost => descending memory
+        picked = select_point(frontier, smallest.peak_bytes)
+        assert picked.peak_bytes <= smallest.peak_bytes
+        assert picked == smallest
+
+    def test_select_point_unsatisfiable_budget_raises(self, chain_problem):
+        from repro.core.exceptions import SearchResourceError
+
+        out = search(chain_problem, objective="frontier")
+        tightest = min(pt.peak_bytes for pt in out.result.frontier)
+        with pytest.raises(SearchResourceError) as exc:
+            select_point(out.result.frontier, tightest - 1.0)
+        assert exc.value.requested_bytes == int(tightest)
+        assert exc.value.budget_bytes == int(tightest - 1.0)
+
+    def test_select_point_empty_frontier_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            select_point((), None)
+
+    def test_simulate_accepts_frontier_point(self, chain_problem):
+        out = search(chain_problem, objective="frontier")
+        pt = select_point(out.result.frontier, None)
+        rep_from_point = simulate(chain_problem, pt)
+        rep_from_strategy = simulate(chain_problem, pt.strategy)
+        assert rep_from_point.step_time == rep_from_strategy.step_time
+
+    def test_frontier_point_reexported(self):
+        assert repro.api.FrontierPoint is FrontierPoint

@@ -78,6 +78,25 @@ class TestCLIExtensions:
         assert "timeline" in out and "gpu0" in out
 
 
+class TestCLIFrontier:
+    def test_search_frontier_prints_table(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--frontier"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "min-cost" in out and "peak memory" in out
+
+    def test_search_frontier_eps(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--frontier", "--frontier-eps", "0.5"]) == 0
+        assert "Pareto frontier" in capsys.readouterr().out
+
+    def test_frontier_requires_ours(self, capsys):
+        assert main(["search", "--model", "rnnlm", "--p", "4",
+                     "--frontier", "--method", "data_parallel"]) == 2
+        assert "requires --method ours" in capsys.readouterr().err
+
+
 class TestCLIResilience:
     def _plan(self, tmp_path, **kw):
         plan = {"relative_times": True,
